@@ -1,0 +1,49 @@
+"""Figure 8(a–c): neutral dumbbell, experiment sets 1–3.
+
+Paper claims reproduced here:
+* the four paths are congested with (roughly) the same probability in
+  every experiment, even when the classes differ wildly in flow size,
+  RTT, or congestion-control algorithm;
+* the algorithm always declares the shared link neutral.
+"""
+
+import pytest
+from conftest import BENCH_SETTINGS, heading, run_once
+
+from repro.analysis.stats import format_table
+from repro.experiments.topology_a import experiment_values, run_full_set
+
+
+def _render(set_number, results):
+    heading(f"Figure 8 / experiment set {set_number} (neutral)")
+    rows = []
+    for value, outcome in results:
+        probs = outcome.path_congestion
+        rows.append(
+            (
+                value,
+                *(f"{probs[p]:.1%}" for p in ("p1", "p2", "p3", "p4")),
+                "neutral" if not outcome.verdict_non_neutral
+                else "NON-NEUTRAL(!)",
+                f"{max(outcome.algorithm.scores.values()):.3f}",
+            )
+        )
+    print(format_table(
+        ["value", "p1", "p2", "p3", "p4", "verdict", "score"], rows
+    ))
+
+
+@pytest.mark.parametrize("set_number", [1, 2, 3])
+def test_fig8_neutral_sets(benchmark, set_number):
+    results = run_once(
+        benchmark, run_full_set, set_number, BENCH_SETTINGS
+    )
+    _render(set_number, results)
+    for value, outcome in results:
+        assert not outcome.verdict_non_neutral, (
+            f"set {set_number} value {value}: false positive"
+        )
+        # Equal-bars claim: spread across the four paths is small in
+        # absolute terms.
+        probs = list(outcome.path_congestion.values())
+        assert max(probs) - min(probs) < 0.12, (set_number, value)

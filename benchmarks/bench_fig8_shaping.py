@@ -1,0 +1,69 @@
+"""Figure 8(g–i): shaping dumbbell, experiment sets 7–9.
+
+Paper claims reproduced here:
+* for shaping rates below 50 %, class-c2 paths are congested more
+  often and the link is identified as non-neutral;
+* at rate 50 % the two classes are throttled identically and the four
+  paths are congested with the same probability (Figure 8(i)'s
+  exception) — observationally the link *looks* neutral.
+"""
+
+import pytest
+from conftest import BENCH_SETTINGS, heading, run_once
+
+from repro.analysis.stats import format_table
+from repro.experiments.topology_a import run_full_set
+from repro.topology.dumbbell import SHARED_LINK
+
+
+def _render(set_number, results):
+    heading(f"Figure 8 / experiment set {set_number} (shaping)")
+    rows = []
+    for value, outcome in results:
+        probs = outcome.path_congestion
+        rows.append(
+            (
+                value,
+                *(f"{probs[p]:.1%}" for p in ("p1", "p2", "p3", "p4")),
+                "NON-NEUTRAL" if outcome.verdict_non_neutral
+                else "neutral",
+                f"{outcome.algorithm.scores[(SHARED_LINK,)]:.3f}",
+            )
+        )
+    print(format_table(
+        ["value", "p1", "p2", "p3", "p4", "verdict", "score"], rows
+    ))
+
+
+@pytest.mark.parametrize("set_number", [7, 8])
+def test_fig8_shaping_sets(benchmark, set_number):
+    results = run_once(
+        benchmark, run_full_set, set_number, BENCH_SETTINGS
+    )
+    _render(set_number, results)
+    detected = 0
+    for value, outcome in results:
+        probs = outcome.path_congestion
+        c1 = (probs["p1"] + probs["p2"]) / 2
+        c2 = (probs["p3"] + probs["p4"]) / 2
+        assert c2 > c1, (set_number, value)
+        if outcome.verdict_non_neutral:
+            assert outcome.quality.false_positive_rate == 0.0
+            detected += 1
+    assert detected >= len(results) - 1
+
+
+def test_fig8_shaping_rate_sweep(benchmark):
+    """Set 9, including the rate-50 % exception."""
+    results = run_once(benchmark, run_full_set, 9, BENCH_SETTINGS)
+    _render(9, results)
+    for value, outcome in results:
+        probs = outcome.path_congestion
+        c1 = (probs["p1"] + probs["p2"]) / 2
+        c2 = (probs["p3"] + probs["p4"]) / 2
+        if value == 50.0:
+            # Equal throttling: equal congestion probabilities.
+            assert abs(c1 - c2) < 0.06, "rate-50% bars should be equal"
+        else:
+            assert c2 > c1, value
+            assert outcome.verdict_non_neutral, value

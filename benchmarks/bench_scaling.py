@@ -1,0 +1,44 @@
+"""Scaling of the inference machinery with network size.
+
+Not a paper artifact; characterizes the library. Algorithm 1's cost
+is dominated by the path-pair enumeration (O(|P|²)) and per-slice
+linear algebra; the bench sweeps star and mesh sizes with exact
+observations.
+"""
+
+import numpy as np
+import pytest
+from conftest import heading
+
+from repro.core.algorithm import identify_non_neutral_exact
+from repro.topology.generators import (
+    random_mesh_network,
+    random_two_class_performance,
+    star_network,
+)
+
+
+@pytest.mark.parametrize("spokes", [8, 16, 32])
+def test_scaling_star(benchmark, spokes):
+    net = star_network(spokes)
+    rng = np.random.default_rng(0)
+    perf, _ = random_two_class_performance(rng, net, num_violations=1)
+    result = benchmark(identify_non_neutral_exact, perf)
+    # Output stays sound at every size.
+    for sigma in result.identified:
+        assert set(sigma) & perf.non_neutral_links
+
+
+@pytest.mark.parametrize("stubs", [4, 6, 8])
+def test_scaling_mesh(benchmark, stubs):
+    rng = np.random.default_rng(1)
+    net = random_mesh_network(rng, num_stubs=stubs, extra_edges=2)
+    perf, _ = random_two_class_performance(rng, net, num_violations=2)
+    result = benchmark(identify_non_neutral_exact, perf)
+    for sigma in result.identified:
+        assert set(sigma) & perf.non_neutral_links
+    heading(
+        f"mesh stubs={stubs}: |P|={len(net.paths)}, "
+        f"|L|={len(net.links)}, examined={len(result.systems)}, "
+        f"identified={len(result.identified)}"
+    )

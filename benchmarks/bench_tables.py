@@ -1,0 +1,79 @@
+"""Tables 1, 2, 3: the paper's parameter space, regenerated.
+
+These benches print the encoded tables and time their construction
+(cheap, but keeps one bench per paper artifact).
+"""
+
+from conftest import heading, run_once
+
+from repro.analysis.stats import format_table
+from repro.experiments.topology_a import TABLE2_SETS, build_experiment
+from repro.workloads.profiles import TABLE1, TABLE3
+
+
+def test_table1_parameter_space(benchmark):
+    table = run_once(benchmark, lambda: TABLE1)
+    heading("Table 1: experiment parameters (defaults marked)")
+    rows = [
+        ("Bottleneck capacity (Mbps)", table.bottleneck_capacity_mbps,
+         table.default_capacity_mbps),
+        ("RTT (ms)", table.rtt_ms, table.default_rtt_ms),
+        ("Policing/shaping rate (%)", table.rate_percent,
+         table.default_rate_percent),
+        ("Congestion control", table.congestion_control,
+         table.default_congestion_control),
+        ("Parallel TCP flows per path", table.flows_per_path,
+         table.default_flows_per_path),
+        ("Mean TCP flow size (Mb)", table.mean_flow_size_mb,
+         table.default_mean_flow_size_mb),
+        ("Mean inter-flow gap (s)", table.mean_gap_seconds,
+         table.default_mean_gap_seconds),
+        ("Loss threshold (%)", table.loss_threshold_percent,
+         table.default_loss_threshold_percent),
+        ("Measurement interval (ms)", table.measurement_interval_ms,
+         table.default_measurement_interval_ms),
+    ]
+    print(format_table(["parameter", "values", "default"], rows))
+    assert table.default_rtt_ms == 50.0
+
+
+def test_table2_experiment_sets(benchmark):
+    def build_all():
+        return {
+            n: [build_experiment(n, v) for v in TABLE2_SETS[n][2]]
+            for n in TABLE2_SETS
+        }
+
+    experiments = run_once(benchmark, build_all)
+    heading("Table 2: topology-A experiment sets")
+    rows = []
+    for n, exps in sorted(experiments.items()):
+        mechanism = exps[0].mechanism or "Neutral"
+        rows.append(
+            (
+                n,
+                mechanism.capitalize(),
+                exps[0].varying,
+                ", ".join(str(e.value) for e in exps),
+            )
+        )
+    print(format_table(["set", "link l5 behavior", "varying", "values"],
+                       rows))
+    assert len(experiments) == 9
+    assert sum(len(v) for v in experiments.values()) == 34
+
+
+def test_table3_host_groups(benchmark):
+    table = run_once(benchmark, lambda: TABLE3)
+    heading("Table 3: topology-B traffic characteristics")
+    rows = [
+        (
+            name,
+            " + ".join(f"1x{s:g}Mb" for s in profile.flow_sizes_mb),
+            "yes" if profile.measured else "no (background)",
+        )
+        for name, profile in sorted(table.items())
+    ]
+    print(format_table(["host group", "parallel flows per path",
+                        "measured"], rows))
+    assert table["light"].flow_sizes_mb == (10000.0,)

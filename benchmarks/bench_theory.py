@@ -1,0 +1,56 @@
+"""Microbenchmarks of the core theory machinery.
+
+Not a paper artifact, but the library's hot paths: Theorem 1 checks,
+System 4 construction, and Algorithm 1 in exact mode, timed on the
+figure networks and on the 24-link topology B graph.
+"""
+
+from conftest import heading
+
+from repro.core import (
+    check_observability,
+    identify_non_neutral_exact,
+    required_pathsets,
+)
+from repro.core.slices import build_slice_system, shared_sequences
+from repro.topology.figures import figure4
+from repro.topology.multi_isp import build_multi_isp
+
+
+def test_theorem1_check_speed(benchmark):
+    fig = figure4()
+    result = benchmark(check_observability, fig.performance)
+    assert result.observable
+
+
+def test_slice_construction_speed(benchmark):
+    topo = build_multi_isp()
+    net = topo.network.restricted_to_paths(
+        topo.dark_paths + topo.light_paths
+    )
+    buckets = shared_sequences(net)
+
+    def build_all():
+        return [
+            build_slice_system(net, sigma, pairs)
+            for sigma, pairs in buckets.items()
+        ]
+
+    systems = benchmark(build_all)
+    assert sum(s is not None for s in systems) >= 9
+
+
+def test_algorithm_exact_speed(benchmark):
+    fig = figure4()
+    result = benchmark(identify_non_neutral_exact, fig.performance)
+    assert result.identified
+
+
+def test_required_pathsets_speed(benchmark):
+    topo = build_multi_isp()
+    net = topo.network.restricted_to_paths(
+        topo.dark_paths + topo.light_paths
+    )
+    pathsets = benchmark(required_pathsets, net)
+    heading(f"topology B requires {len(pathsets)} measured pathsets")
+    assert len(pathsets) > 20

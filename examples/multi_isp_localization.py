@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Localize three policers in a multi-ISP network (topology B).
+
+The Figure 9 scenario: a tier-1 backbone polices long flows at two
+ingress points (l14, l20) and internally (l5). Dark hosts exchange
+short flows, light hosts exchange the throttled long flows, white
+hosts provide background traffic and take no measurements. The
+algorithm works only from end-to-end observations of the measured
+paths, yet localizes the policers to short link sequences.
+
+Run:  python examples/multi_isp_localization.py
+(Takes a couple of minutes: a 300-second emulation of 24 links.)
+"""
+
+from repro.analysis.stats import boxplot_summary, format_table
+from repro.experiments.topology_b import (
+    TOPOLOGY_B_SETTINGS,
+    run_topology_b,
+)
+from repro.topology.multi_isp import POLICED_LINKS
+
+
+def main() -> None:
+    print("Emulating topology B (24 links, 25 paths, 3 policers)...")
+    report = run_topology_b(TOPOLOGY_B_SETTINGS.with_seed(3))
+    outcome = report.outcome
+
+    print("\nGround truth (per-link congestion probability by class):")
+    rows = []
+    for lid in sorted(report.ground_truth,
+                      key=lambda l: int(l.lstrip("l"))):
+        c1, c2 = report.ground_truth[lid]
+        mark = "*" if lid in POLICED_LINKS else " "
+        if c1 > 0.005 or c2 > 0.005 or mark == "*":
+            rows.append((f"{lid}{mark}", f"{c1:.1%}", f"{c2:.1%}"))
+    print(format_table(["link", "P(cong) c1", "P(cong) c2"], rows))
+    print("(* = actually implements policing)")
+
+    print("\nExamined link sequences and verdicts:")
+    rows = []
+    for s in report.sequences:
+        c2 = boxplot_summary(s.c2_estimates)
+        rows.append(
+            (
+                "<" + ",".join(s.sigma) + ">",
+                "POLICER" if s.contains_policer else "neutral",
+                "identified" if s.identified else "-",
+                f"{outcome.algorithm.scores[s.sigma]:.3f}",
+                f"{c2.median:.3f}",
+            )
+        )
+    print(format_table(
+        ["sequence", "truth", "verdict", "unsolvability",
+         "median c2-pair estimate"], rows))
+
+    q = outcome.quality
+    print(f"\nQuality: FN {q.false_negative_rate:.0%}, "
+          f"FP {q.false_positive_rate:.0%}, "
+          f"granularity {q.granularity:.2f}")
+    if q.missed_links:
+        print(f"  missed: {sorted(q.missed_links)}")
+
+
+if __name__ == "__main__":
+    main()

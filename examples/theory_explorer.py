@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Explore observability and identifiability across the paper's
+theory examples (Figures 1, 2, 4, 5, 6).
+
+For each figure network: check Theorem 1 (observable?), enumerate the
+identifiable link sequences (Definition 2 via exact System 4s), test
+Lemma 3's sufficient condition, and run Algorithm 1.
+
+Run:  python examples/theory_explorer.py
+"""
+
+from repro.analysis.stats import format_table
+from repro.core import (
+    check_observability,
+    identifiable_sequences_exact,
+    identify_non_neutral_exact,
+    satisfies_lemma3,
+)
+from repro.topology.figures import ALL_FIGURES
+
+
+def main() -> None:
+    rows = []
+    for name, builder in sorted(ALL_FIGURES.items()):
+        fig = builder()
+        obs = check_observability(fig.performance)
+        identifiable = identifiable_sequences_exact(fig.performance)
+        result = identify_non_neutral_exact(fig.performance)
+        rows.append(
+            (
+                name,
+                ",".join(sorted(fig.non_neutral_links)) or "-",
+                "yes" if obs.observable else "NO",
+                "; ".join(
+                    "<" + ",".join(s) + ">" for s in identifiable
+                ) or "-",
+                "; ".join(
+                    "<" + ",".join(s) + ">" for s in result.identified
+                ) or "-",
+            )
+        )
+    print(format_table(
+        ["figure", "non-neutral", "observable", "identifiable seqs",
+         "Algorithm 1 output"],
+        rows,
+    ))
+
+    print("\nLemma 3 on Figure 4:")
+    fig = ALL_FIGURES["figure4"]()
+    for sigma in (("l1",), ("l2",), ("l1", "l2")):
+        res = satisfies_lemma3(
+            fig.network, fig.classes, sigma, top_class="c1"
+        )
+        detail = (
+            f"inside={res.inside_pair} outside={res.outside_pair} "
+            f"class={res.lower_class}"
+            if res.satisfied
+            else "condition not satisfiable"
+        )
+        print(f"  sigma={list(sigma)}: satisfied={res.satisfied} ({detail})")
+
+    print("\nTake-away: l2's violation hides behind l1 (no path pair "
+          "shares exactly <l2>), so Algorithm 1 reports <l1> and "
+          "<l1,l2> — granularity 1.5, zero false positives, exactly "
+          "the paper's Section 5 worked example.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+pip/setuptools cannot build PEP 517 editable wheels (no ``wheel``
+package available). All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

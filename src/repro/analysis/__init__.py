@@ -1,0 +1,15 @@
+"""Analysis utilities: boxplot summaries and report tables."""
+
+from repro.analysis.stats import (
+    BoxplotSummary,
+    boxplot_summary,
+    format_table,
+    series_summary,
+)
+
+__all__ = [
+    "BoxplotSummary",
+    "boxplot_summary",
+    "format_table",
+    "series_summary",
+]

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``theory`` — the paper's worked examples, analytically (instant).
+* ``fig8 --set N [--value V]`` — one topology-A experiment (set 1–9).
+* ``topo-b [--seed S]`` — the topology-B experiment with reports.
+
+Every command prints the same tables the benchmark harness produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import EmulationSettings
+
+
+def _cmd_theory(_: argparse.Namespace) -> int:
+    from repro.analysis.stats import format_table
+    from repro.core import (
+        check_observability,
+        identifiable_sequences_exact,
+        identify_non_neutral_exact,
+    )
+    from repro.topology.figures import ALL_FIGURES
+
+    rows = []
+    for name, builder in sorted(ALL_FIGURES.items()):
+        fig = builder()
+        obs = check_observability(fig.performance)
+        ident = identifiable_sequences_exact(fig.performance)
+        result = identify_non_neutral_exact(fig.performance)
+        rows.append(
+            (
+                name,
+                ",".join(sorted(fig.non_neutral_links)),
+                "yes" if obs.observable else "no",
+                "; ".join("<" + ",".join(s) + ">" for s in ident) or "-",
+                "; ".join(
+                    "<" + ",".join(s) + ">" for s in result.identified
+                )
+                or "-",
+            )
+        )
+    print(
+        format_table(
+            [
+                "figure",
+                "non-neutral",
+                "observable",
+                "identifiable",
+                "Algorithm 1",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import (
+        render_path_congestion,
+        render_verdict,
+    )
+    from repro.experiments.topology_a import (
+        experiment_values,
+        run_topology_a,
+    )
+
+    values = experiment_values(args.set)
+    chosen = [args.value] if args.value is not None else list(values)
+    settings = EmulationSettings(
+        duration_seconds=args.duration, seed=args.seed
+    )
+    for value in chosen:
+        if args.set != 3:
+            value = float(value)
+        if value not in values:
+            print(
+                f"set {args.set} accepts values {values}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"\n=== set {args.set}, value {value} ===")
+        outcome = run_topology_a(args.set, value, settings)
+        print(render_path_congestion(outcome))
+        print(render_verdict(outcome))
+    return 0
+
+
+def _cmd_topo_b(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import (
+        render_ground_truth,
+        render_queue_traces,
+        render_sequences,
+    )
+    from repro.experiments.topology_b import (
+        TOPOLOGY_B_SETTINGS,
+        run_topology_b,
+    )
+
+    settings = TOPOLOGY_B_SETTINGS.with_seed(args.seed)
+    if args.duration:
+        settings = settings.quick(args.duration)
+    print("Running topology B (this takes a minute or two)...")
+    report = run_topology_b(settings)
+    print("\nFigure 10(a): ground truth")
+    print(render_ground_truth(report))
+    print("\nFigure 10(b): inferred sequences")
+    print(render_sequences(report))
+    print("\nFigure 11: queue traces")
+    print(render_queue_traces(report))
+    q = report.outcome.quality
+    print(
+        f"\nquality: FN {q.false_negative_rate:.0%}  "
+        f"FP {q.false_positive_rate:.0%}  "
+        f"granularity {q.granularity:.2f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Network Neutrality Inference (SIGCOMM 2014) "
+        "reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("theory", help="worked theory examples (instant)")
+
+    fig8 = sub.add_parser("fig8", help="one topology-A experiment set")
+    fig8.add_argument("--set", type=int, required=True, choices=range(1, 10))
+    fig8.add_argument(
+        "--value",
+        default=None,
+        help="one x-axis value (default: the whole sweep)",
+    )
+    fig8.add_argument("--duration", type=float, default=120.0)
+    fig8.add_argument("--seed", type=int, default=1)
+
+    topob = sub.add_parser("topo-b", help="the topology-B experiment")
+    topob.add_argument("--seed", type=int, default=3)
+    topob.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override the 300 s default",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "theory": _cmd_theory,
+        "fig8": _cmd_fig8,
+        "topo-b": _cmd_topo_b,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main())

@@ -1,0 +1,239 @@
+"""Algorithm 1: identification of non-neutral link sequences (paper §5).
+
+The pipeline, exactly as in the paper:
+
+1. For every path pair, compute the shared link sequence σ and bucket
+   the pair under σ (lines 2–8).
+2. Keep only sequences with ``|Φ_σ| ≥ min_pathsets`` (line 10; the
+   paper uses 5, i.e. at least two path pairs).
+3. For each surviving σ, build System 4 and decide whether it "has a
+   solution" (line 13). Two decision modes are provided:
+
+   * **exact** — rank test on noise-free observations (theory mode);
+   * **scored** — the practical mode of §6.2: compute the
+     unsolvability score (spread of per-pair estimates of ``x_σ``) and
+     let a *decider* (by default 2-cluster splitting, see
+     :mod:`repro.measurement.clustering`) separate solvable from
+     unsolvable systems.
+
+4. Prune redundant sequences from the identified set Σn̄: σ is
+   redundant when it is the union of other examined sequences, at
+   least one of which was itself identified — keeping it adds no
+   information (§5). The sequence itself is excluded from its own
+   decomposition, otherwise every identified σ would be trivially
+   redundant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.network import LinkSeq, Network
+from repro.core.pathsets import PathSet
+from repro.core.performance import NetworkPerformance
+from repro.core.slices import SliceSystem, build_slice_system, shared_sequences
+
+#: A decider maps {σ: unsolvability score} to {σ: is_unsolvable}.
+Decider = Callable[[Mapping[LinkSeq, float]], Mapping[LinkSeq, bool]]
+
+#: Algorithm 1's minimum pathset count (2 path pairs + 3 singletons…
+#: the paper states "at least 2 path pairs (equivalent to at least 5
+#: pathsets)": 2 pairs sharing one endpoint give 3 singletons + 2
+#: pairs = 5 rows.
+DEFAULT_MIN_PATHSETS = 5
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """Everything Algorithm 1 produced.
+
+    Attributes:
+        identified: Σn̄ after redundancy pruning — the output.
+        identified_raw: Σn̄ before pruning.
+        neutral: Σn — examined sequences whose system was solvable.
+        skipped: Sequences with too few pathsets (non-identifiable).
+        scores: Unsolvability score per examined sequence (scored
+            mode) or residual-based indicator (exact mode).
+        systems: The :class:`SliceSystem` per examined sequence.
+    """
+
+    identified: Tuple[LinkSeq, ...]
+    identified_raw: Tuple[LinkSeq, ...]
+    neutral: Tuple[LinkSeq, ...]
+    skipped: Tuple[LinkSeq, ...]
+    scores: Dict[LinkSeq, float] = field(default_factory=dict)
+    systems: Dict[LinkSeq, SliceSystem] = field(default_factory=dict)
+
+    @property
+    def identified_links(self) -> frozenset:
+        """Union of links over all identified sequences."""
+        out = set()
+        for sigma in self.identified:
+            out.update(sigma)
+        return frozenset(out)
+
+
+def _candidate_systems(
+    net: Network, min_pathsets: int
+) -> Tuple[Dict[LinkSeq, SliceSystem], List[LinkSeq]]:
+    """Lines 2–12: candidate systems and the skipped sequences."""
+    systems: Dict[LinkSeq, SliceSystem] = {}
+    skipped: List[LinkSeq] = []
+    for sigma, pairs in sorted(shared_sequences(net).items()):
+        system = build_slice_system(net, sigma, pairs)
+        if system is None or system.num_pathsets < min_pathsets:
+            skipped.append(sigma)
+            continue
+        systems[sigma] = system
+    return systems, skipped
+
+
+def remove_redundant(
+    identified: Sequence[LinkSeq],
+    examined: Sequence[LinkSeq],
+) -> Tuple[LinkSeq, ...]:
+    """Prune redundant sequences from Σn̄ (paper §5).
+
+    σ ∈ Σn̄ is redundant iff there exist sequences
+    ``{σ_i} ⊆ (Σn ∪ Σn̄) ∖ {σ}`` whose union equals σ with at least
+    one σ_i ∈ Σn̄. Redundancy is evaluated against the *original*
+    sets, in one pass: if σ_b in σ_a's decomposition is itself
+    redundant, σ_b's own decomposition substitutes transitively, so
+    iterating cannot remove more.
+    """
+    identified_set = set(identified)
+    examined_set = set(examined)
+    kept: List[LinkSeq] = []
+    for sigma in identified:
+        target = set(sigma)
+        candidates = [
+            other
+            for other in examined_set
+            if other != sigma and set(other) <= target
+        ]
+        union = set()
+        has_identified = False
+        for other in candidates:
+            union.update(other)
+            if other in identified_set:
+                has_identified = True
+        if union == target and has_identified:
+            continue  # redundant
+        kept.append(sigma)
+    return tuple(kept)
+
+
+def identify_non_neutral(
+    net: Network,
+    observations: Mapping[PathSet, float],
+    decider: Optional[Decider] = None,
+    min_pathsets: int = DEFAULT_MIN_PATHSETS,
+    prune_redundant: bool = True,
+) -> AlgorithmResult:
+    """Algorithm 1 in its practical, score-based form (paper §6.2).
+
+    Args:
+        net: The network graph.
+        observations: Measured performance numbers, keyed by pathset.
+            Must cover ``Φ_σ`` for every candidate σ (use
+            :func:`required_pathsets` to know what to measure).
+        decider: Classifies unsolvability scores; defaults to the
+            2-cluster splitter of :mod:`repro.measurement.clustering`.
+        min_pathsets: Line 10's threshold.
+        prune_redundant: Apply the §5 redundancy pruning.
+
+    Returns:
+        The :class:`AlgorithmResult`.
+    """
+    if decider is None:
+        from repro.measurement.clustering import cluster_decider
+
+        decider = cluster_decider
+    systems, skipped = _candidate_systems(net, min_pathsets)
+    scores: Dict[LinkSeq, float] = {
+        sigma: system.unsolvability(observations)
+        for sigma, system in systems.items()
+    }
+    verdict = decider(scores)
+    identified_raw = tuple(
+        sigma for sigma in systems if verdict.get(sigma, False)
+    )
+    neutral = tuple(
+        sigma for sigma in systems if not verdict.get(sigma, False)
+    )
+    identified = (
+        remove_redundant(identified_raw, tuple(systems))
+        if prune_redundant
+        else identified_raw
+    )
+    return AlgorithmResult(
+        identified=identified,
+        identified_raw=identified_raw,
+        neutral=neutral,
+        skipped=tuple(skipped),
+        scores=scores,
+        systems=systems,
+    )
+
+
+def identify_non_neutral_exact(
+    perf: NetworkPerformance,
+    min_pathsets: int = DEFAULT_MIN_PATHSETS,
+    tol: float = 1e-9,
+    prune_redundant: bool = True,
+) -> AlgorithmResult:
+    """Algorithm 1 with exact observations and the rank-based test.
+
+    This is the algorithm as stated in §5, before measurement noise
+    enters: with exact observations it suffers zero false positives
+    and misses exactly the non-identifiable violations.
+    """
+    net = perf.network
+    systems, skipped = _candidate_systems(net, min_pathsets)
+    observations: Dict[PathSet, float] = {}
+    for system in systems.values():
+        for ps in system.family:
+            if ps not in observations:
+                observations[ps] = perf.pathset_performance(ps)
+    scores: Dict[LinkSeq, float] = {}
+    identified_raw: List[LinkSeq] = []
+    neutral: List[LinkSeq] = []
+    for sigma, system in systems.items():
+        scores[sigma] = system.unsolvability(observations)
+        if system.is_solvable_exact(observations, tol=tol):
+            neutral.append(sigma)
+        else:
+            identified_raw.append(sigma)
+    identified = (
+        remove_redundant(identified_raw, tuple(systems))
+        if prune_redundant
+        else tuple(identified_raw)
+    )
+    return AlgorithmResult(
+        identified=tuple(identified),
+        identified_raw=tuple(identified_raw),
+        neutral=tuple(neutral),
+        skipped=tuple(skipped),
+        scores=scores,
+        systems=systems,
+    )
+
+
+def required_pathsets(
+    net: Network, min_pathsets: int = DEFAULT_MIN_PATHSETS
+) -> Tuple[PathSet, ...]:
+    """All pathsets Algorithm 1 will need observations for.
+
+    The measurement layer calls this before an experiment to know
+    which single paths and path pairs to monitor.
+    """
+    systems, _ = _candidate_systems(net, min_pathsets)
+    seen = set()
+    out: List[PathSet] = []
+    for system in systems.values():
+        for ps in system.family:
+            if ps not in seen:
+                seen.add(ps)
+                out.append(ps)
+    return tuple(out)

@@ -1,0 +1,218 @@
+"""Network slices and System 4 (paper Section 4.1 and appendix).
+
+To reason about a single link sequence σ, the paper forms a
+*specialized* system of equations from exactly the measurements that
+constrain σ:
+
+1. ``Φ_σ``: every path pair ``{p_i, p_j}`` whose shared links are
+   exactly σ (``Links(p_i) ∩ Links(p_j) = σ``), plus the member
+   singletons.
+2. The slice ``G_σ``: a two-level logical tree in which σ becomes a
+   single logical link and each path's remainder ``ρ_i = Links(p_i)∖σ``
+   becomes a private logical link.
+3. System 4: ``y = A_σ(Φ_σ)·x`` over the logical links.
+
+Each path pair then pins σ's cost independently:
+``x_σ = y_i + y_j − y_{ij}`` (appendix Equation 14) — the remainders
+cancel. If different pairs disagree, System 4 is unsolvable and σ is
+non-neutral (Lemma 2). The spread of the per-pair estimates is the
+*unsolvability score* the practical algorithm clusters on (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.linear import is_solvable
+from repro.core.network import LinkSeq, Network, make_linkseq
+from repro.core.pathsets import PathSet, PathSetFamily
+from repro.exceptions import SliceError
+
+#: Column label of the logical link for σ in System 4.
+SIGMA_COLUMN = "<sigma>"
+
+
+@dataclass(frozen=True)
+class SliceSystem:
+    """System 4 for one link sequence σ.
+
+    Attributes:
+        sigma: The link sequence (canonical sorted tuple).
+        paths: Paths participating in the slice, ``P_σ``, ordered.
+        pairs: The path pairs of ``Φ_σ``, ordered.
+        family: The full ordered pathset family: one singleton per
+            path in ``paths``, then one pair pathset per entry of
+            ``pairs`` — the rows of :attr:`matrix`.
+        matrix: ``A_σ(Φ_σ)`` over the logical links.
+        columns: Column labels: :data:`SIGMA_COLUMN` first, then the
+            ids of paths with non-empty remainder ``ρ_i``.
+    """
+
+    sigma: LinkSeq
+    paths: Tuple[str, ...]
+    pairs: Tuple[Tuple[str, str], ...]
+    family: PathSetFamily
+    matrix: np.ndarray
+    columns: Tuple[str, ...]
+
+    @property
+    def num_pathsets(self) -> int:
+        """``|Φ_σ|`` — Algorithm 1 requires at least 5 (≥ 2 pairs)."""
+        return len(self.family)
+
+    def observation_vector(
+        self, observations: Mapping[PathSet, float]
+    ) -> np.ndarray:
+        """Assemble ``y`` from a pathset-performance mapping.
+
+        Raises:
+            SliceError: If a needed pathset was not measured.
+        """
+        values = []
+        for ps in self.family:
+            if ps not in observations:
+                raise SliceError(
+                    f"missing observation for pathset {sorted(ps)}"
+                )
+            values.append(observations[ps])
+        return np.array(values, dtype=float)
+
+    def pair_estimates(
+        self, observations: Mapping[PathSet, float]
+    ) -> Dict[Tuple[str, str], float]:
+        """Per-pair estimates of σ's cost (appendix Equation 14).
+
+        For each pair ``{p_i, p_j}`` in ``Φ_σ``:
+        ``x_σ = y_{p_i} + y_{p_j} − y_{p_i,p_j}``.
+        """
+        estimates: Dict[Tuple[str, str], float] = {}
+        for pa, pb in self.pairs:
+            y_a = observations[frozenset([pa])]
+            y_b = observations[frozenset([pb])]
+            y_ab = observations[frozenset([pa, pb])]
+            estimates[(pa, pb)] = y_a + y_b - y_ab
+        return estimates
+
+    def unsolvability(
+        self, observations: Mapping[PathSet, float]
+    ) -> float:
+        """The paper's unsolvability score: max − min pair estimate.
+
+        Estimates are clipped at 0 first: a performance number is a
+        nonnegative cost, so a negative estimate carries no evidence
+        about σ — it is sampling noise (or mild anti-correlation from
+        capacity coupling) and must not inflate the spread.
+        """
+        estimates = [
+            max(v, 0.0)
+            for v in self.pair_estimates(observations).values()
+        ]
+        if len(estimates) < 2:
+            return 0.0
+        return float(max(estimates) - min(estimates))
+
+    def is_solvable_exact(
+        self, observations: Mapping[PathSet, float], tol: float = 1e-9
+    ) -> bool:
+        """Exact rank-based solvability of System 4 (for clean data)."""
+        y = self.observation_vector(observations)
+        return is_solvable(self.matrix, y, tol=tol)
+
+
+def shared_sequences(net: Network) -> Dict[LinkSeq, List[Tuple[str, str]]]:
+    """Group all path pairs by their shared link sequence.
+
+    This is lines 2–8 of Algorithm 1: for every unordered path pair,
+    compute ``σ = Links(p_i) ∩ Links(p_j)`` and bucket the pair under
+    σ. Pairs sharing no link (σ empty) are dropped — they say nothing
+    about any sequence.
+
+    Returns:
+        ``{σ: [pairs]}`` with deterministic pair order.
+    """
+    buckets: Dict[LinkSeq, List[Tuple[str, str]]] = {}
+    for pa, pb in net.path_pairs():
+        sigma = net.shared_links(pa, pb)
+        if not sigma:
+            continue
+        buckets.setdefault(sigma, []).append((pa, pb))
+    return buckets
+
+
+def pairs_for_sequence(net: Network, sigma: LinkSeq) -> List[Tuple[str, str]]:
+    """All path pairs whose shared links are exactly σ."""
+    target = make_linkseq(sigma)
+    return [
+        (pa, pb)
+        for pa, pb in net.path_pairs()
+        if net.shared_links(pa, pb) == target
+    ]
+
+
+def build_slice_system(
+    net: Network,
+    sigma: LinkSeq,
+    pairs: Sequence[Tuple[str, str]] = None,
+) -> Optional[SliceSystem]:
+    """Construct System 4 for a link sequence.
+
+    Args:
+        net: The network.
+        sigma: The link sequence σ (any iterable of link ids).
+        pairs: Pre-computed pairs for σ (from :func:`shared_sequences`);
+            computed on the fly when omitted.
+
+    Returns:
+        The :class:`SliceSystem`, or ``None`` when no path pair shares
+        exactly σ (the slice cannot be formed — the paper's
+        non-identifiable case, e.g. ``hl2i`` in Figure 4).
+    """
+    sigma = make_linkseq(sigma)
+    if not sigma:
+        raise SliceError("sigma may not be empty")
+    pair_list = list(pairs) if pairs is not None else pairs_for_sequence(net, sigma)
+    if not pair_list:
+        return None
+
+    path_ids: List[str] = sorted({p for pair in pair_list for p in pair})
+    sigma_set = set(sigma)
+    remainders: Dict[str, frozenset] = {
+        pid: frozenset(net.links_of(pid) - sigma_set) for pid in path_ids
+    }
+    columns: List[str] = [SIGMA_COLUMN] + [
+        pid for pid in path_ids if remainders[pid]
+    ]
+    col_index = {label: j for j, label in enumerate(columns)}
+
+    family: List[PathSet] = [frozenset([pid]) for pid in path_ids]
+    family += [frozenset(pair) for pair in pair_list]
+
+    matrix = np.zeros((len(family), len(columns)), dtype=float)
+    for i, ps in enumerate(family):
+        matrix[i, 0] = 1.0  # every pathset here traverses σ
+        for pid in ps:
+            j = col_index.get(pid)
+            if j is not None:
+                matrix[i, j] = 1.0
+
+    return SliceSystem(
+        sigma=sigma,
+        paths=tuple(path_ids),
+        pairs=tuple(pair_list),
+        family=tuple(family),
+        matrix=matrix,
+        columns=tuple(columns),
+    )
+
+
+def slice_pathsets(net: Network, sigma: LinkSeq) -> PathSetFamily:
+    """Just the pathset family ``Φ_σ`` (singletons + pairs), or ``()``.
+
+    Convenience for the measurement layer, which needs to know which
+    pathsets to measure before any system is solved.
+    """
+    system = build_slice_system(net, sigma)
+    return system.family if system is not None else ()

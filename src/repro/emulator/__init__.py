@@ -1,0 +1,5 @@
+"""Packet-level discrete-event emulator (validation substrate)."""
+
+from repro.emulator.core import PacketLinkSpec, PacketNetwork
+
+__all__ = ["PacketLinkSpec", "PacketNetwork"]

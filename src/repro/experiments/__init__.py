@@ -1,0 +1,53 @@
+"""End-to-end experiment runners regenerating the paper's evaluation."""
+
+from repro.experiments.config import EmulationSettings
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    measured_subnetwork,
+    run_experiment,
+)
+from repro.experiments.topology_a import (
+    TABLE2_SETS,
+    TopologyAExperiment,
+    build_experiment,
+    experiment_values,
+    run_full_set,
+    run_topology_a,
+)
+from repro.experiments.reporting import (
+    render_ground_truth,
+    render_path_congestion,
+    render_queue_traces,
+    render_sequences,
+    render_verdict,
+)
+from repro.experiments.topology_b import (
+    TOPOLOGY_B_SETTINGS,
+    SequenceEstimates,
+    TopologyBReport,
+    run_topology_b,
+    table3_workloads,
+)
+
+__all__ = [
+    "EmulationSettings",
+    "ExperimentOutcome",
+    "SequenceEstimates",
+    "TABLE2_SETS",
+    "TOPOLOGY_B_SETTINGS",
+    "TopologyAExperiment",
+    "TopologyBReport",
+    "build_experiment",
+    "experiment_values",
+    "measured_subnetwork",
+    "run_experiment",
+    "run_full_set",
+    "run_topology_a",
+    "render_ground_truth",
+    "render_path_congestion",
+    "render_queue_traces",
+    "render_sequences",
+    "render_verdict",
+    "run_topology_b",
+    "table3_workloads",
+]

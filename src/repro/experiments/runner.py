@@ -1,0 +1,163 @@
+"""End-to-end experiment runner: emulate → measure → infer → score.
+
+This is the glue that turns a topology + workload + settings into the
+paper's outputs: per-path congestion probabilities (Figure 8's
+y-axis), Algorithm 1's verdict, and — given ground truth — the §5
+quality metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.algorithm import (
+    DEFAULT_MIN_PATHSETS,
+    AlgorithmResult,
+    identify_non_neutral,
+)
+from repro.core.classes import ClassAssignment
+from repro.core.metrics import QualityReport, evaluate
+from repro.core.network import LinkSeq, Network
+from repro.core.pathsets import PathSet
+from repro.core.slices import build_slice_system, shared_sequences
+from repro.experiments.config import EmulationSettings
+from repro.fluid.engine import FluidNetwork, FluidResult
+from repro.fluid.params import FluidLinkSpec, PathWorkload
+from repro.measurement.clustering import make_cluster_decider
+from repro.measurement.normalize import (
+    path_congestion_probability,
+    pathset_performance_numbers,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """Everything one experiment produced.
+
+    Attributes:
+        emulation: Raw fluid-emulator output (traces, ground truth).
+        observations: Normalized pathset performance numbers.
+        algorithm: Algorithm 1's result on those observations.
+        path_congestion: Per-path raw congestion probability
+            (Figure 8's bars).
+        inference_network: The graph the algorithm saw (restricted to
+            measured paths).
+        quality: §5 metrics versus ground truth, when ground truth
+            (the set of differentiating links) was supplied.
+    """
+
+    emulation: FluidResult
+    observations: Dict[PathSet, float]
+    algorithm: AlgorithmResult
+    path_congestion: Dict[str, float]
+    inference_network: Network
+    quality: Optional[QualityReport] = None
+
+    @property
+    def verdict_non_neutral(self) -> bool:
+        """Whether any link sequence was identified as non-neutral."""
+        return bool(self.algorithm.identified)
+
+
+def measured_subnetwork(
+    net: Network, workloads: Mapping[str, PathWorkload]
+) -> Network:
+    """The graph visible to the inference: measured paths only.
+
+    Background (white) paths generate load but provide no
+    observations, so the algorithm must not form slices with them.
+    """
+    measured = [pid for pid in net.path_ids if workloads[pid].measured]
+    return net.restricted_to_paths(measured)
+
+
+def run_experiment(
+    net: Network,
+    classes: ClassAssignment,
+    link_specs: Mapping[str, FluidLinkSpec],
+    workloads: Mapping[str, PathWorkload],
+    settings: EmulationSettings = EmulationSettings(),
+    ground_truth_links: Iterable[str] = None,
+    min_pathsets: int = DEFAULT_MIN_PATHSETS,
+) -> ExperimentOutcome:
+    """Run one full experiment.
+
+    Args:
+        net: The network graph (including background paths).
+        classes: Class assignment used by differentiating links.
+        link_specs: Fluid link specs.
+        workloads: Per-path traffic.
+        settings: Emulation/inference settings.
+        ground_truth_links: Links that actually differentiate, for
+            quality scoring; omit to skip scoring.
+        min_pathsets: Algorithm 1's line-10 threshold.
+
+    Returns:
+        The :class:`ExperimentOutcome`.
+    """
+    sim = FluidNetwork(
+        net, classes, link_specs, workloads, seed=settings.seed
+    )
+    emulation = sim.run(
+        duration_seconds=settings.duration_seconds,
+        dt=settings.dt,
+        interval_seconds=settings.interval_seconds,
+        warmup_seconds=settings.warmup_seconds,
+    )
+    inference_net = measured_subnetwork(net, workloads)
+
+    # Per-slice normalization (paper §6.2 / Algorithm 2): each slice
+    # family is normalized over its own paths. "sampled" mode draws
+    # the subsampled loss counts hypergeometrically — equalizing the
+    # congestion indicator's sensitivity between thin and thick paths
+    # ("similarly sized traffic aggregates") at the cost of sampling
+    # noise; "expected" mode (default) uses the expectation.
+    norm_rng = np.random.default_rng(settings.seed + 7_919)
+    observations: Dict[PathSet, float] = {}
+    for sigma, pairs in sorted(shared_sequences(inference_net).items()):
+        system = build_slice_system(inference_net, sigma, pairs)
+        if system is None or system.num_pathsets < min_pathsets:
+            continue
+        observations.update(
+            pathset_performance_numbers(
+                emulation.measurements,
+                system.family,
+                loss_threshold=settings.loss_threshold,
+                mode=settings.normalization_mode,
+                rng=norm_rng,
+            )
+        )
+
+    decider = make_cluster_decider(
+        min_absolute=settings.decider_min_absolute,
+        min_ratio=settings.decider_min_ratio,
+        definite=settings.decider_definite,
+    )
+    algorithm = identify_non_neutral(
+        inference_net,
+        observations,
+        decider=decider,
+        min_pathsets=min_pathsets,
+    )
+    path_congestion = {
+        pid: path_congestion_probability(
+            emulation.measurements, pid, settings.loss_threshold
+        )
+        for pid in inference_net.path_ids
+    }
+    quality = None
+    if ground_truth_links is not None:
+        quality = evaluate(
+            algorithm, ground_truth_links, inference_net.link_ids
+        )
+    return ExperimentOutcome(
+        emulation=emulation,
+        observations=observations,
+        algorithm=algorithm,
+        path_congestion=path_congestion,
+        inference_network=inference_net,
+        quality=quality,
+    )

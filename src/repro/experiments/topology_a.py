@@ -1,0 +1,179 @@
+"""Topology-A experiment sets 1–9 (Table 2, results Figure 8).
+
+Each set varies one parameter across four experiments on the dumbbell
+of Figure 7. Sets 1–3 keep the shared link neutral while making the
+two classes as different as possible (flow size, RTT, congestion
+control) — the hard case for false positives. Sets 4–9 police or
+shape class c2 while keeping the classes' *traffic* identical — the
+hard case for detection.
+
+The expected verdict per experiment follows the paper: neutral for
+sets 1–3, non-neutral for sets 4–9 (the shared link differentiates in
+all of them; see EXPERIMENTS.md for the discussion of the
+shaping-rate-50 % case, whose *observations* look neutral).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.config import EmulationSettings
+from repro.experiments.runner import ExperimentOutcome, run_experiment
+from repro.fluid.params import PathWorkload
+from repro.topology.dumbbell import (
+    CLASS1_PATHS,
+    CLASS2_PATHS,
+    SHARED_LINK,
+    build_dumbbell,
+)
+from repro.workloads.profiles import TABLE1, class_workload
+
+
+@dataclass(frozen=True)
+class TopologyAExperiment:
+    """One experiment (one x-axis point of one Figure 8 panel).
+
+    Attributes:
+        set_number: 1–9 (Table 2's first column).
+        mechanism: ``None`` / ``"policing"`` / ``"shaping"``.
+        varying: Name of the varied parameter.
+        value: The varied parameter's value for this experiment.
+        workloads: Per-path traffic.
+        rate_fraction: Policing/shaping rate (differentiated sets).
+        expect_non_neutral: Ground-truth verdict.
+    """
+
+    set_number: int
+    mechanism: Optional[str]
+    varying: str
+    value: object
+    workloads: Mapping[str, PathWorkload]
+    rate_fraction: float
+    expect_non_neutral: bool
+
+
+def _set1(value: float) -> Dict[str, PathWorkload]:
+    """Set 1: c1 carries 1 Mb flows, c2 carries ``value`` Mb flows."""
+    wl = class_workload(CLASS1_PATHS, mean_size_mb=1.0)
+    wl.update(class_workload(CLASS2_PATHS, mean_size_mb=value))
+    return wl
+
+
+def _set2(value: float) -> Dict[str, PathWorkload]:
+    """Set 2: c1 at 50 ms RTT, c2 at ``value`` ms."""
+    wl = class_workload(CLASS1_PATHS, mean_size_mb=10.0, rtt_ms=50.0)
+    wl.update(class_workload(CLASS2_PATHS, mean_size_mb=10.0, rtt_ms=value))
+    return wl
+
+
+def _set3(value: str) -> Dict[str, PathWorkload]:
+    """Set 3: c1 uses CUBIC, c2 uses ``value``."""
+    wl = class_workload(CLASS1_PATHS, mean_size_mb=10.0)
+    wl.update(
+        class_workload(
+            CLASS2_PATHS, mean_size_mb=10.0, congestion_control=value
+        )
+    )
+    return wl
+
+
+def _uniform_size(value: float) -> Dict[str, PathWorkload]:
+    """Sets 4 & 7: all paths carry ``value`` Mb flows."""
+    return class_workload(CLASS1_PATHS + CLASS2_PATHS, mean_size_mb=value)
+
+
+def _uniform_rtt(value: float) -> Dict[str, PathWorkload]:
+    """Sets 5 & 8: all paths at ``value`` ms RTT."""
+    return class_workload(
+        CLASS1_PATHS + CLASS2_PATHS, mean_size_mb=10.0, rtt_ms=value
+    )
+
+
+def _uniform_default(_: float) -> Dict[str, PathWorkload]:
+    """Sets 6 & 9: default traffic; the rate is what varies."""
+    return class_workload(CLASS1_PATHS + CLASS2_PATHS, mean_size_mb=10.0)
+
+
+#: Table 2, encoded. Each entry: (mechanism, varying parameter name,
+#: values, workload builder, rate-is-the-varying-parameter?).
+TABLE2_SETS: Dict[int, Tuple[Optional[str], str, Tuple, Callable, bool]] = {
+    1: (None, "mean_flow_size_mb(c2)", (1.0, 10.0, 40.0, 10000.0), _set1, False),
+    2: (None, "rtt_ms(c2)", (50.0, 80.0, 120.0, 200.0), _set2, False),
+    3: (None, "congestion_control(c2)", ("cubic", "newreno"), _set3, False),
+    4: ("policing", "mean_flow_size_mb", (1.0, 10.0, 40.0, 10000.0), _uniform_size, False),
+    5: ("policing", "rtt_ms", (50.0, 80.0, 120.0, 200.0), _uniform_rtt, False),
+    6: ("policing", "rate_percent", (50.0, 40.0, 30.0, 20.0), _uniform_default, True),
+    7: ("shaping", "mean_flow_size_mb", (1.0, 10.0, 40.0, 10000.0), _uniform_size, False),
+    8: ("shaping", "rtt_ms", (50.0, 80.0, 120.0, 200.0), _uniform_rtt, False),
+    9: ("shaping", "rate_percent", (50.0, 40.0, 30.0, 20.0), _uniform_default, True),
+}
+
+
+def build_experiment(
+    set_number: int, value: object
+) -> TopologyAExperiment:
+    """Instantiate one Table 2 experiment."""
+    mechanism, varying, values, builder, rate_varies = TABLE2_SETS[set_number]
+    if value not in values:
+        raise ValueError(
+            f"set {set_number} does not include value {value!r}; "
+            f"valid: {values}"
+        )
+    rate = (
+        float(value) / 100.0
+        if rate_varies
+        else TABLE1.default_rate_percent / 100.0
+    )
+    return TopologyAExperiment(
+        set_number=set_number,
+        mechanism=mechanism,
+        varying=varying,
+        value=value,
+        workloads=builder(value),
+        rate_fraction=rate,
+        expect_non_neutral=mechanism is not None,
+    )
+
+
+def experiment_values(set_number: int) -> Tuple:
+    """The x-axis values of one experiment set."""
+    return TABLE2_SETS[set_number][2]
+
+
+def run_topology_a(
+    set_number: int,
+    value: object,
+    settings: EmulationSettings = EmulationSettings(),
+) -> ExperimentOutcome:
+    """Run one topology-A experiment end to end.
+
+    Returns the full :class:`ExperimentOutcome`; the outcome's
+    ``path_congestion`` gives the four bars of the corresponding
+    Figure 8 panel at this x-axis value, and
+    ``verdict_non_neutral`` the algorithm's decision.
+    """
+    exp = build_experiment(set_number, value)
+    topo = build_dumbbell(
+        mechanism=exp.mechanism, rate_fraction=exp.rate_fraction
+    )
+    truth = {SHARED_LINK} if exp.expect_non_neutral else set()
+    return run_experiment(
+        topo.network,
+        topo.classes,
+        topo.link_specs,
+        exp.workloads,
+        settings=settings,
+        ground_truth_links=truth,
+    )
+
+
+def run_full_set(
+    set_number: int,
+    settings: EmulationSettings = EmulationSettings(),
+) -> List[Tuple[object, ExperimentOutcome]]:
+    """Run all experiments of one Table 2 set."""
+    return [
+        (value, run_topology_a(set_number, value, settings))
+        for value in experiment_values(set_number)
+    ]

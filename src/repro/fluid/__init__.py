@@ -1,0 +1,53 @@
+"""Fluid network emulator: TCP window dynamics over fluid queues.
+
+The primary evaluation substrate (DESIGN.md S11): fast enough for the
+paper's full parameter sweeps while reproducing the loss-event
+structure the inference pipeline depends on. See
+:mod:`repro.emulator` for the packet-level validation substrate.
+"""
+
+from repro.fluid.engine import (
+    DEFAULT_DT,
+    DEFAULT_INTERVAL,
+    FluidNetwork,
+    FluidResult,
+)
+from repro.fluid.params import (
+    MSS_BITS,
+    FlowSlotSpec,
+    FluidLinkSpec,
+    PathWorkload,
+    PolicerSpec,
+    ShaperSpec,
+    mb_to_packets,
+    mbps_to_pps,
+    uniform_workload,
+)
+from repro.fluid.tcp import TcpState
+from repro.fluid.traffic import (
+    FlowSlot,
+    build_slots,
+    sample_flow_size_packets,
+    sample_gap_seconds,
+)
+
+__all__ = [
+    "DEFAULT_DT",
+    "DEFAULT_INTERVAL",
+    "FlowSlot",
+    "FlowSlotSpec",
+    "FluidLinkSpec",
+    "FluidNetwork",
+    "FluidResult",
+    "MSS_BITS",
+    "PathWorkload",
+    "PolicerSpec",
+    "ShaperSpec",
+    "TcpState",
+    "build_slots",
+    "mb_to_packets",
+    "mbps_to_pps",
+    "sample_flow_size_packets",
+    "sample_gap_seconds",
+    "uniform_workload",
+]

@@ -1,0 +1,222 @@
+"""Configuration dataclasses for the fluid emulator.
+
+Units follow networking convention at the API surface (Mbps,
+milliseconds, Mb for flow sizes — as in the paper's Table 1) and are
+converted to packets/seconds internally. The MSS is fixed at 1500
+bytes = 12000 bits, matching common Ethernet framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Maximum segment size in bits (1500-byte packets).
+MSS_BITS = 12_000
+
+#: Bits per megabit.
+MEGABIT = 1_000_000
+
+
+def mbps_to_pps(mbps: float) -> float:
+    """Convert a rate in Mbps to packets (MSS) per second."""
+    return mbps * MEGABIT / MSS_BITS
+
+
+def mb_to_packets(megabits: float) -> float:
+    """Convert a volume in Mb to packets (MSS)."""
+    return megabits * MEGABIT / MSS_BITS
+
+
+@dataclass(frozen=True)
+class PolicerSpec:
+    """Token-bucket policing of one class (paper §6.1).
+
+    Tokens accrue at ``rate_fraction × link capacity``; traffic of the
+    targeted class exceeding the bucket is dropped immediately.
+
+    Attributes:
+        target_class: Name of the policed class (the paper's c2).
+        rate_fraction: Policing rate as a fraction of link capacity
+            (the paper sweeps 0.2–0.5).
+        burst_seconds: Bucket depth expressed as seconds at the
+            policing rate (bucket = burst_seconds × rate). Real
+            policers are configured with shallow buckets (tens of
+            packets); a deep bucket absorbs TCP's burstiness and
+            produces almost no differentiation signal.
+    """
+
+    target_class: str
+    rate_fraction: float
+    burst_seconds: float = 0.005
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate_fraction <= 1.0:
+            raise ConfigurationError(
+                f"policing rate fraction must be in (0,1], "
+                f"got {self.rate_fraction}"
+            )
+        if self.burst_seconds <= 0:
+            raise ConfigurationError("burst_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class ShaperSpec:
+    """Dual shaping of both classes (paper §6.1).
+
+    The link passes the targeted class through a shaper of rate
+    ``rate_fraction × capacity`` and all *other* traffic through a
+    second shaper of rate ``(1 − rate_fraction) × capacity``. Excess
+    traffic is buffered in the shaper's dedicated queue and dropped
+    only on overflow.
+
+    Attributes:
+        target_class: The shaped (deprioritized) class.
+        rate_fraction: Fraction of capacity granted to the target
+            class; the complement goes to everyone else.
+        buffer_seconds: Each shaper queue's depth in seconds at its
+            own service rate.
+    """
+
+    target_class: str
+    rate_fraction: float
+    buffer_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate_fraction < 1.0:
+            raise ConfigurationError(
+                f"shaping rate fraction must be in (0,1), "
+                f"got {self.rate_fraction}"
+            )
+        if self.buffer_seconds <= 0:
+            raise ConfigurationError("buffer_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class FluidLinkSpec:
+    """Physical parameters of one emulated link.
+
+    Attributes:
+        capacity_mbps: Link capacity (paper default: 100 Mbps).
+        buffer_rtt_seconds: Queue depth expressed as seconds at link
+            capacity; the paper sizes queues by the maximum RTT of
+            traversing traffic (a bandwidth-delay product).
+        policer: Optional token-bucket differentiation.
+        shaper: Optional dual-shaper differentiation.
+    """
+
+    capacity_mbps: float = 100.0
+    buffer_rtt_seconds: float = 0.2
+    policer: Optional[PolicerSpec] = None
+    shaper: Optional[ShaperSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.buffer_rtt_seconds <= 0:
+            raise ConfigurationError("buffer depth must be positive")
+        if self.policer is not None and self.shaper is not None:
+            raise ConfigurationError(
+                "a link cannot both police and shape (pick one)"
+            )
+
+    @property
+    def capacity_pps(self) -> float:
+        return mbps_to_pps(self.capacity_mbps)
+
+    @property
+    def buffer_packets(self) -> float:
+        return self.capacity_pps * self.buffer_rtt_seconds
+
+    @property
+    def is_differentiating(self) -> bool:
+        return self.policer is not None or self.shaper is not None
+
+
+@dataclass(frozen=True)
+class FlowSlotSpec:
+    """One parallel TCP "slot" on a path.
+
+    A slot runs one flow at a time: a flow of ``size`` (fixed) or a
+    Pareto-distributed size (``mean_size_mb``), then an exponential
+    idle gap, then the next flow — the paper's traffic model (§6.1).
+
+    Attributes:
+        mean_size_mb: Mean transfer size in Mb. With
+            ``pareto_shape > 0`` sizes are Pareto with this mean;
+            with ``pareto_shape == 0`` every flow has exactly this
+            size (used for Table 3's fixed-size mixes).
+        mean_gap_seconds: Mean exponential idle time between flows
+            (paper default: 10 s).
+        pareto_shape: Pareto tail index α (> 1 for a finite mean);
+            the paper's flow sizes are heavy-tailed per [9].
+    """
+
+    mean_size_mb: float = 10.0
+    mean_gap_seconds: float = 10.0
+    pareto_shape: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.mean_size_mb <= 0:
+            raise ConfigurationError("mean flow size must be positive")
+        if self.mean_gap_seconds < 0:
+            raise ConfigurationError("mean gap must be nonnegative")
+        if self.pareto_shape != 0 and self.pareto_shape <= 1.0:
+            raise ConfigurationError(
+                "pareto_shape must be > 1 (finite mean) or 0 (fixed size)"
+            )
+
+
+@dataclass(frozen=True)
+class PathWorkload:
+    """Traffic description of one path.
+
+    Attributes:
+        slots: The parallel flow slots (paper: "a number of parallel
+            TCP flows per path").
+        rtt_seconds: Base round-trip time of the path (propagation;
+            queueing delay is added dynamically).
+        congestion_control: ``"cubic"`` or ``"newreno"``.
+        measured: Whether the path participates in measurements
+            (False for the paper's white background hosts).
+    """
+
+    slots: Tuple[FlowSlotSpec, ...] = (FlowSlotSpec(),)
+    rtt_seconds: float = 0.05
+    congestion_control: str = "cubic"
+    measured: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ConfigurationError("a path needs at least one flow slot")
+        if self.rtt_seconds <= 0:
+            raise ConfigurationError("RTT must be positive")
+        if self.congestion_control not in ("cubic", "newreno"):
+            raise ConfigurationError(
+                f"unknown congestion control {self.congestion_control!r}"
+            )
+
+
+def uniform_workload(
+    path_ids,
+    flows_per_path: int = 1,
+    mean_size_mb: float = 10.0,
+    mean_gap_seconds: float = 10.0,
+    rtt_seconds: float = 0.05,
+    congestion_control: str = "cubic",
+    pareto_shape: float = 1.2,
+) -> Dict[str, PathWorkload]:
+    """The same workload on every path (experiment sets 4–9)."""
+    slot = FlowSlotSpec(
+        mean_size_mb=mean_size_mb,
+        mean_gap_seconds=mean_gap_seconds,
+        pareto_shape=pareto_shape,
+    )
+    workload = PathWorkload(
+        slots=(slot,) * flows_per_path,
+        rtt_seconds=rtt_seconds,
+        congestion_control=congestion_control,
+    )
+    return {pid: workload for pid in path_ids}

@@ -1,0 +1,110 @@
+"""Latency-threshold performance metrics (paper §7, "Performance
+metrics").
+
+The paper's loss metric cannot see violations that manifest as extra
+*latency* only. §7's proposed remedy: convert latency into an
+additive, pathset-capable metric by thresholding — define a path as
+"latency-congested" in an interval when its delay exceeds a
+pre-configured threshold, a pathset as latency-congestion-free when
+all members are below threshold, and take ``y = −log P`` as usual.
+Every downstream piece (System 4, unsolvability, clustering) then
+works unchanged.
+
+Inputs are per-interval delay series per path (the fluid emulator's
+``FluidResult.path_rtt_seconds``), so this module is array-in,
+observations-out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pathsets import PathSet, PathSetFamily
+from repro.exceptions import MeasurementError
+
+
+def latency_indicators(
+    delays: Mapping[str, np.ndarray],
+    threshold_seconds: float,
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Per-interval below-threshold indicators for each path.
+
+    Args:
+        delays: ``{path: delay per interval}`` (seconds).
+        threshold_seconds: The latency threshold.
+
+    Returns:
+        ``(ok, ids)``: ``ok[i, t]`` is 1 when path ``ids[i]``'s delay
+        stayed below the threshold in interval ``t``.
+    """
+    if threshold_seconds <= 0:
+        raise MeasurementError("latency threshold must be positive")
+    ids = tuple(sorted(delays))
+    if not ids:
+        raise MeasurementError("no delay series provided")
+    lengths = {np.asarray(delays[pid]).shape[0] for pid in ids}
+    if len(lengths) != 1:
+        raise MeasurementError(
+            f"delay series lengths differ: {sorted(lengths)}"
+        )
+    ok = np.stack(
+        [
+            (np.asarray(delays[pid], dtype=float) < threshold_seconds)
+            for pid in ids
+        ]
+    ).astype(np.int8)
+    return ok, ids
+
+
+def latency_performance_numbers(
+    delays: Mapping[str, np.ndarray],
+    family: PathSetFamily,
+    threshold_seconds: float,
+    min_probability: Optional[float] = None,
+) -> Dict[PathSet, float]:
+    """Pathset performance numbers under the latency metric.
+
+    ``y_Φ = −log P(every member path below threshold)`` — additive
+    across independent links exactly like the loss metric, so the
+    returned mapping plugs straight into
+    :func:`repro.core.algorithm.identify_non_neutral`.
+    """
+    paths = tuple(sorted({pid for ps in family for pid in ps}))
+    if not paths:
+        return {}
+    missing = [pid for pid in paths if pid not in delays]
+    if missing:
+        raise MeasurementError(f"no delay series for: {missing}")
+    ok, ids = latency_indicators(
+        {pid: delays[pid] for pid in paths}, threshold_seconds
+    )
+    index = {pid: i for i, pid in enumerate(ids)}
+    num_intervals = ok.shape[1]
+    if num_intervals == 0:
+        raise MeasurementError("empty delay series")
+    eps = (
+        min_probability
+        if min_probability is not None
+        else 1.0 / (2.0 * num_intervals)
+    )
+    out: Dict[PathSet, float] = {}
+    for ps in family:
+        rows = [index[pid] for pid in ps]
+        joint = ok[rows].min(axis=0)
+        p_ok = min(max(float(joint.mean()), eps), 1.0)
+        out[ps] = -float(np.log(p_ok))
+    return out
+
+
+def latency_congestion_probability(
+    delays: Mapping[str, np.ndarray],
+    path_id: str,
+    threshold_seconds: float,
+) -> float:
+    """Fraction of intervals in which the path exceeded the threshold."""
+    ok, ids = latency_indicators(
+        {path_id: delays[path_id]}, threshold_seconds
+    )
+    return float(1.0 - ok[0].mean())

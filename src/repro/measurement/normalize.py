@@ -1,0 +1,209 @@
+"""Algorithm 2: pathset performance numbers from raw records.
+
+The paper's key measurement-processing insight (§6.2): even a neutral
+link may drop *different fractions* of packets from paths that carry
+different traffic mixes, because loss is not uniform per packet. A
+naive comparison would misread this as non-neutrality. Algorithm 2
+therefore normalizes observations to *equal-rate traffic aggregates*:
+
+1. In each interval, find the minimum packet count ``m`` over the
+   involved paths and (virtually) subsample every path's traffic down
+   to ``m`` packets.
+2. A path is *congestion-free* in the interval when its subsampled
+   loss fraction is below the loss threshold.
+3. A pathset is congestion-free when all member paths are.
+4. The pathset's congestion-free probability is the fraction of
+   congestion-free intervals; its performance number is
+   ``y = −log P`` (clamped away from 0).
+
+Subsampling ``m`` of ``M`` packets of which ``L`` were lost makes the
+sampled loss count hypergeometric(M, L, m); we either draw it
+(``mode="sampled"``) or use its expectation ``m·L/M``
+(``mode="expected"``, the default — deterministic and unbiased).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.pathsets import PathSet, PathSetFamily
+from repro.exceptions import MeasurementError
+from repro.measurement.records import MeasurementData
+
+#: Default loss threshold: 1% of (normalized) packets lost marks an
+#: interval as congested, matching Algorithm 2's ``0.01·m`` and the
+#: bold default of Table 1.
+DEFAULT_LOSS_THRESHOLD = 0.01
+
+
+def congestion_free_matrix(
+    data: MeasurementData,
+    path_ids: Tuple[str, ...],
+    loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
+    mode: str = "expected",
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-interval congestion-free indicators for normalized paths.
+
+    Args:
+        data: Raw records.
+        path_ids: The paths to normalize jointly (the paths of one
+            slice family — ``Paths(σ)`` in the paper).
+        loss_threshold: Congestion threshold on the loss fraction.
+        mode: ``"expected"`` (deterministic) or ``"sampled"``
+            (hypergeometric draw, requires ``rng``).
+        rng: Random generator for ``mode="sampled"``.
+
+    Returns:
+        ``(status, valid)`` where ``status[i, t]`` is 1 when path
+        ``path_ids[i]`` was congestion-free in interval ``t`` and
+        ``valid[t]`` marks intervals where every path sent at least
+        one packet (others carry no information and are skipped).
+    """
+    if not 0.0 < loss_threshold < 1.0:
+        raise MeasurementError(
+            f"loss threshold must be in (0,1), got {loss_threshold}"
+        )
+    if mode not in ("expected", "sampled"):
+        raise MeasurementError(f"unknown mode {mode!r}")
+    if mode == "sampled" and rng is None:
+        raise MeasurementError("mode='sampled' requires an rng")
+
+    sent = np.stack([data.record(pid).sent for pid in path_ids])
+    lost = np.stack([data.record(pid).lost for pid in path_ids])
+    num_paths, num_intervals = sent.shape
+
+    valid = (sent > 0).all(axis=0)
+    m = np.where(valid, sent.min(axis=0), 0)
+
+    if mode == "expected":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sampled_lost = np.where(sent > 0, lost * (m / sent), 0.0)
+    else:
+        sampled_lost = np.zeros_like(sent, dtype=float)
+        for i in range(num_paths):
+            for t in range(num_intervals):
+                if not valid[t] or m[t] == 0:
+                    continue
+                ngood = int(sent[i, t] - lost[i, t])
+                nbad = int(lost[i, t])
+                sampled_lost[i, t] = rng.hypergeometric(
+                    nbad, ngood, int(m[t])
+                )
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = np.where(m > 0, sampled_lost / np.maximum(m, 1), 0.0)
+    status = (frac < loss_threshold).astype(np.int8)
+    status[:, ~valid] = 0
+    return status, valid
+
+
+def pathset_performance_numbers(
+    data: MeasurementData,
+    family: PathSetFamily,
+    loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
+    mode: str = "expected",
+    rng: Optional[np.random.Generator] = None,
+    min_probability: Optional[float] = None,
+) -> Dict[PathSet, float]:
+    """Algorithm 2: performance numbers for a family of pathsets.
+
+    All paths appearing in the family are normalized *jointly* (one
+    common subsampling), matching the paper's per-slice processing.
+
+    Args:
+        data: Raw measurement records.
+        family: The pathsets to evaluate (singletons and pairs for
+            System 4 families).
+        loss_threshold: See :func:`congestion_free_matrix`.
+        mode: ``"expected"`` or ``"sampled"``.
+        rng: Generator for sampled mode.
+        min_probability: Clamp for the congestion-free probability
+            before taking logs; defaults to ``1/(2T)`` so that a
+            pathset congested in *every* interval gets a large finite
+            cost.
+
+    Returns:
+        ``{pathset: y}`` with ``y = −log P(pathset congestion-free)``.
+    """
+    paths: Tuple[str, ...] = tuple(
+        sorted({pid for ps in family for pid in ps})
+    )
+    if not paths:
+        return {}
+    status, valid = congestion_free_matrix(
+        data, paths, loss_threshold, mode, rng
+    )
+    index = {pid: i for i, pid in enumerate(paths)}
+    total_valid = int(valid.sum())
+    if total_valid == 0:
+        raise MeasurementError(
+            "no interval has traffic on every involved path; cannot "
+            "normalize (paths: %s)" % (paths,)
+        )
+    eps = (
+        min_probability
+        if min_probability is not None
+        else 1.0 / (2.0 * total_valid)
+    )
+    out: Dict[PathSet, float] = {}
+    for ps in family:
+        rows = [index[pid] for pid in ps]
+        joint = status[rows].min(axis=0)  # AND over member paths
+        p_free = joint[valid].mean() if total_valid else 0.0
+        p_free = min(max(float(p_free), eps), 1.0)
+        out[ps] = -float(np.log(p_free))
+    return out
+
+
+def slice_observations(
+    data: MeasurementData,
+    families: Iterable[PathSetFamily],
+    loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
+    mode: str = "expected",
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[PathSet, float]:
+    """Per-slice normalization over many System 4 families.
+
+    The paper normalizes *per slice* — each System 4's vector ``y`` is
+    computed with that slice's own equal-rate aggregates. When the
+    same pathset appears in several slices, the value from the larger
+    normalization group wins deterministically (groups sorted by path
+    tuple); values differ only marginally and only through the shared
+    minimum rate.
+
+    Returns:
+        A merged ``{pathset: y}`` mapping covering every family.
+    """
+    merged: Dict[PathSet, float] = {}
+    for fam in sorted(
+        families, key=lambda f: tuple(sorted(tuple(sorted(ps)) for ps in f))
+    ):
+        if not fam:
+            continue
+        values = pathset_performance_numbers(
+            data, fam, loss_threshold, mode, rng
+        )
+        merged.update(values)
+    return merged
+
+
+def path_congestion_probability(
+    data: MeasurementData,
+    path_id: str,
+    loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
+) -> float:
+    """Unnormalized per-path congestion probability (Figure 8's y-axis).
+
+    The fraction of intervals (with traffic) in which the path's raw
+    loss fraction reached the threshold.
+    """
+    rec = data.record(path_id)
+    has_traffic = rec.sent > 0
+    if not has_traffic.any():
+        return 0.0
+    frac = rec.loss_fraction()
+    congested = (frac >= loss_threshold) & has_traffic
+    return float(congested.sum() / has_traffic.sum())

@@ -1,0 +1,18 @@
+"""Classical tomography baselines (the approach the paper inverts)."""
+
+from repro.tomography.boolean import (
+    BooleanTomographyResult,
+    boolean_tomography,
+    path_states,
+    smallest_explanation,
+)
+from repro.tomography.lsq import LsqTomographyResult, lsq_tomography
+
+__all__ = [
+    "BooleanTomographyResult",
+    "LsqTomographyResult",
+    "boolean_tomography",
+    "lsq_tomography",
+    "path_states",
+    "smallest_explanation",
+]

@@ -1,0 +1,185 @@
+"""Experiment topology B: the multi-ISP network of Figure 9.
+
+The paper's figure shows a 24-link network: routers R1–R5 form a
+tier-1 backbone, five tier-2 ISPs / content providers hang off it,
+and three links implement policing — ``l14`` and ``l20`` throttle
+long flows entering the backbone from two tier-2 networks, and ``l5``
+throttles long flows crossing the backbone internally. The figure's
+exact wiring is not fully recoverable from the paper, so this module
+is a *reconstruction* in the same spirit (documented in DESIGN.md):
+
+* Backbone routers ``B1..B5``: a chain ``B1–B2–B3–B4–B5`` plus
+  shortcuts ``B1–B3`` (the policed ``l5``), ``B3–B5``, and three
+  lightly-used cross links carrying background traffic.
+* Five stub networks ``S1..S5``, one per backbone router. Each stub
+  has a shared host-access link (dark/light hosts) and a separate
+  white-host access link.
+* Ingress links ``S_i–B_i``; the ingress of ``S2`` is the policed
+  ``l14`` and the ingress of ``S5`` the policed ``l20``.
+* Measured paths: one dark (short flows, class c1) and one light
+  (long flows, class c2) path per stub pair — 20 paths. Five white
+  paths provide unmeasured background traffic (class c1).
+
+Link ids follow the paper where it matters: the policers are ``l5``,
+``l14``, ``l20``; ``l13`` is a busy *neutral* ingress (the Figure 11
+comparison pair is ``l13`` vs ``l14``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.classes import ClassAssignment, classes_from_mapping
+from repro.core.network import Network, Path
+from repro.fluid.params import FluidLinkSpec, PolicerSpec
+
+#: The three policing links (ground truth for Figure 10).
+POLICED_LINKS = ("l5", "l14", "l20")
+
+#: The busy neutral ingress compared against l14 in Figure 11.
+NEUTRAL_BUSY_LINK = "l13"
+
+#: Shared host-access link per stub (dark + light hosts).
+ACCESS = {1: "l1", 2: "l7", 3: "l11", 4: "l16", 5: "l21"}
+
+#: White-host access link per stub.
+WHITE_ACCESS = {1: "l2", 2: "l8", 3: "l12", 4: "l17", 5: "l22"}
+
+#: Ingress link per stub (S_i – B_i).
+INGRESS = {1: "l3", 2: "l14", 3: "l13", 4: "l18", 5: "l20"}
+
+#: Backbone links.
+BACKBONE = {
+    ("B1", "B2"): "l4",
+    ("B1", "B3"): "l5",
+    ("B2", "B3"): "l6",
+    ("B2", "B4"): "l9",
+    ("B3", "B4"): "l10",
+    ("B3", "B5"): "l15",
+    ("B4", "B5"): "l19",
+    ("B1", "B4"): "l23",
+    ("B2", "B5"): "l24",
+}
+
+#: Backbone route (link ids) between stub pairs, chosen as the
+#: weighted shortest paths described in the module docstring.
+_BACKBONE_ROUTE: Dict[Tuple[int, int], Tuple[str, ...]] = {
+    (1, 2): ("l4",),
+    (1, 3): ("l5",),
+    (1, 4): ("l5", "l10"),
+    (1, 5): ("l5", "l15"),
+    (2, 3): ("l6",),
+    (2, 4): ("l6", "l10"),
+    (2, 5): ("l6", "l15"),
+    (3, 4): ("l10",),
+    (3, 5): ("l15",),
+    (4, 5): ("l19",),
+}
+
+#: White background routes, placed to exercise the otherwise unused
+#: cross links l9, l23, l24.
+_WHITE_ROUTES: Dict[Tuple[int, int], Tuple[str, ...]] = {
+    (1, 4): ("l23",),
+    (2, 5): ("l24",),
+    (2, 4): ("l9",),
+    (1, 2): ("l4",),
+    (3, 5): ("l15",),
+}
+
+#: All stub pairs, ordered.
+STUB_PAIRS: Tuple[Tuple[int, int], ...] = tuple(
+    (i, j) for i in range(1, 6) for j in range(i + 1, 6)
+)
+
+
+def _measured_path(kind: str, i: int, j: int) -> Path:
+    """A dark or light path between stubs i and j (shared access)."""
+    links = (
+        (ACCESS[i], INGRESS[i])
+        + _BACKBONE_ROUTE[(i, j)]
+        + (INGRESS[j], ACCESS[j])
+    )
+    return Path(f"{kind}{i}{j}", links)
+
+
+def _white_path(i: int, j: int) -> Path:
+    links = (
+        (WHITE_ACCESS[i], INGRESS[i])
+        + _WHITE_ROUTES[(i, j)]
+        + (INGRESS[j], WHITE_ACCESS[j])
+    )
+    return Path(f"white{i}{j}", links)
+
+
+@dataclass(frozen=True)
+class MultiIspTopology:
+    """Topology B with classes and link specs.
+
+    Attributes:
+        network: 24 links, 25 paths (10 dark + 10 light + 5 white).
+        classes: ``c1`` = dark + white paths, ``c2`` = light paths.
+        link_specs: Fluid specs; policers on ``l5``, ``l14``, ``l20``.
+        dark_paths / light_paths / white_paths: Path-id groups.
+    """
+
+    network: Network
+    classes: ClassAssignment
+    link_specs: Dict[str, FluidLinkSpec]
+    dark_paths: Tuple[str, ...]
+    light_paths: Tuple[str, ...]
+    white_paths: Tuple[str, ...]
+
+
+def build_multi_isp(
+    policing_rate: float = 0.3,
+    backbone_capacity_mbps: float = 100.0,
+    access_capacity_mbps: float = 1000.0,
+    policed: Tuple[str, ...] = POLICED_LINKS,
+) -> MultiIspTopology:
+    """Build topology B.
+
+    Args:
+        policing_rate: Rate fraction of the three policers.
+        backbone_capacity_mbps: Capacity of backbone and ingress
+            links (the paper's 100 Mbps bottlenecks).
+        access_capacity_mbps: Capacity of host access links.
+        policed: Which links police class c2 (default: the paper's
+            three; pass ``()`` for an all-neutral variant).
+
+    Returns:
+        The :class:`MultiIspTopology`.
+    """
+    dark = [_measured_path("dark", i, j) for i, j in STUB_PAIRS]
+    light = [_measured_path("light", i, j) for i, j in STUB_PAIRS]
+    white = [_white_path(i, j) for i, j in sorted(_WHITE_ROUTES)]
+    paths = dark + light + white
+
+    link_ids = [f"l{k}" for k in range(1, 25)]
+    net = Network(link_ids, paths)
+
+    mapping = {p.id: "c1" for p in dark + white}
+    mapping.update({p.id: "c2" for p in light})
+    classes = classes_from_mapping(net, mapping)
+
+    access_links = set(ACCESS.values()) | set(WHITE_ACCESS.values())
+    specs: Dict[str, FluidLinkSpec] = {}
+    for lid in link_ids:
+        capacity = (
+            access_capacity_mbps if lid in access_links
+            else backbone_capacity_mbps
+        )
+        policer = (
+            PolicerSpec(target_class="c2", rate_fraction=policing_rate)
+            if lid in policed
+            else None
+        )
+        specs[lid] = FluidLinkSpec(capacity_mbps=capacity, policer=policer)
+    return MultiIspTopology(
+        network=net,
+        classes=classes,
+        link_specs=specs,
+        dark_paths=tuple(p.id for p in dark),
+        light_paths=tuple(p.id for p in light),
+        white_paths=tuple(p.id for p in white),
+    )

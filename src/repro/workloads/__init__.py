@@ -1,0 +1,21 @@
+"""Workload profiles: Table 1 parameter space and Table 3 host groups."""
+
+from repro.workloads.profiles import (
+    TABLE1,
+    TABLE3,
+    HostGroupProfile,
+    ParameterTable,
+    class_workload,
+    group_workload,
+    slots_for_size,
+)
+
+__all__ = [
+    "TABLE1",
+    "TABLE3",
+    "HostGroupProfile",
+    "ParameterTable",
+    "class_workload",
+    "group_workload",
+    "slots_for_size",
+]

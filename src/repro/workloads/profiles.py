@@ -1,0 +1,153 @@
+"""The paper's workload parameter space (Tables 1 and 3).
+
+``TABLE1`` encodes the global parameter grid with its defaults;
+``TABLE3`` encodes topology B's three host groups. The helper
+:func:`slots_for_size` captures the calibration the paper hints at in
+Table 1's "parallel TCP flows per path ∈ {1, 12, 15, 20, 70}": short
+flows need high parallelism to keep a path continuously present on
+the wire (a 1 Mb transfer at a congested link lasts well under a
+second, so 15 slots with 10-second gaps would leave the path idle
+most of the time and starve both the measurements and the
+differentiation mechanisms of traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.fluid.params import FlowSlotSpec, PathWorkload
+
+
+@dataclass(frozen=True)
+class ParameterTable:
+    """Table 1: the experiment parameter space. Defaults in bold in
+    the paper are the ``default_*`` fields here."""
+
+    bottleneck_capacity_mbps: Tuple[float, ...] = (100.0,)
+    rtt_ms: Tuple[float, ...] = (50.0, 80.0, 120.0, 200.0)
+    rate_percent: Tuple[float, ...] = (20.0, 30.0, 40.0, 50.0)
+    congestion_control: Tuple[str, ...] = ("cubic", "newreno")
+    flows_per_path: Tuple[int, ...] = (1, 12, 15, 20, 70)
+    mean_flow_size_mb: Tuple[float, ...] = (1.0, 10.0, 40.0, 10000.0)
+    mean_gap_seconds: Tuple[float, ...] = (10.0,)
+    loss_threshold_percent: Tuple[float, ...] = (1.0, 5.0, 10.0)
+    measurement_interval_ms: Tuple[float, ...] = (100.0, 200.0, 500.0)
+
+    default_capacity_mbps: float = 100.0
+    default_rtt_ms: float = 50.0
+    default_rate_percent: float = 30.0
+    default_congestion_control: str = "cubic"
+    default_flows_per_path: int = 15
+    default_mean_flow_size_mb: float = 10.0
+    default_mean_gap_seconds: float = 10.0
+    default_loss_threshold_percent: float = 1.0
+    default_measurement_interval_ms: float = 100.0
+
+
+#: The canonical Table 1 instance.
+TABLE1 = ParameterTable()
+
+
+def slots_for_size(mean_size_mb: float) -> int:
+    """Parallel-slot count keeping a path continuously busy.
+
+    1 Mb flows get Table 1's 70 parallel slots; everything from the
+    10 Mb default upward uses the default 15.
+    """
+    if mean_size_mb < 2.0:
+        return 70
+    if mean_size_mb < 10.0:
+        return 30
+    return TABLE1.default_flows_per_path
+
+
+def class_workload(
+    path_ids,
+    mean_size_mb: float,
+    rtt_ms: float = TABLE1.default_rtt_ms,
+    congestion_control: str = TABLE1.default_congestion_control,
+    mean_gap_seconds: float = TABLE1.default_mean_gap_seconds,
+    flows_per_path: int = None,
+    measured: bool = True,
+) -> Dict[str, PathWorkload]:
+    """A homogeneous workload for one class of paths."""
+    slots_n = (
+        flows_per_path if flows_per_path is not None
+        else slots_for_size(mean_size_mb)
+    )
+    slot = FlowSlotSpec(
+        mean_size_mb=mean_size_mb, mean_gap_seconds=mean_gap_seconds
+    )
+    workload = PathWorkload(
+        slots=(slot,) * slots_n,
+        rtt_seconds=rtt_ms / 1000.0,
+        congestion_control=congestion_control,
+        measured=measured,
+    )
+    return {pid: workload for pid in path_ids}
+
+
+@dataclass(frozen=True)
+class HostGroupProfile:
+    """One row of Table 3: a topology-B end-host group's flow mix.
+
+    Attributes:
+        name: ``dark``, ``light``, or ``white``.
+        flow_sizes_mb: One parallel slot per entry, of that fixed size
+            (``pareto_shape = 0``; Table 3 lists exact sizes).
+        measured: White hosts provide background traffic only.
+    """
+
+    name: str
+    flow_sizes_mb: Tuple[float, ...]
+    measured: bool
+
+
+#: Table 3. Dark-gray hosts exchange short flows; light-gray hosts
+#: exchange the long (policed) flows; white hosts exchange a mix but
+#: do not participate in measurements.
+TABLE3: Mapping[str, HostGroupProfile] = {
+    "dark": HostGroupProfile(
+        name="dark", flow_sizes_mb=(1.0, 10.0, 40.0), measured=True
+    ),
+    "light": HostGroupProfile(
+        name="light", flow_sizes_mb=(10000.0,), measured=True
+    ),
+    "white": HostGroupProfile(
+        name="white",
+        flow_sizes_mb=(1.0, 10.0, 40.0, 10000.0),
+        measured=False,
+    ),
+}
+
+
+def group_workload(
+    profile: HostGroupProfile,
+    rtt_ms: float = TABLE1.default_rtt_ms,
+    congestion_control: str = TABLE1.default_congestion_control,
+    mean_gap_seconds: float = TABLE1.default_mean_gap_seconds,
+    parallel_copies: int = 1,
+) -> PathWorkload:
+    """Instantiate one path's workload from a Table 3 host group.
+
+    Args:
+        profile: The host group.
+        parallel_copies: Replicate the whole mix this many times (the
+            paper's "1×1Mb + 1×10Mb + 1×40Mb" notation is one copy).
+    """
+    slots = tuple(
+        FlowSlotSpec(
+            mean_size_mb=size,
+            mean_gap_seconds=mean_gap_seconds,
+            pareto_shape=0.0,
+        )
+        for _ in range(parallel_copies)
+        for size in profile.flow_sizes_mb
+    )
+    return PathWorkload(
+        slots=slots,
+        rtt_seconds=rtt_ms / 1000.0,
+        congestion_control=congestion_control,
+        measured=profile.measured,
+    )

@@ -1,0 +1,50 @@
+"""Tests for analysis helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    boxplot_summary,
+    format_table,
+    series_summary,
+)
+
+
+def test_boxplot_summary():
+    s = boxplot_summary([0.1, 0.2, 0.3, 0.4, 0.5])
+    assert s.minimum == 0.1
+    assert s.median == 0.3
+    assert s.maximum == 0.5
+    assert s.count == 5
+
+
+def test_boxplot_summary_empty():
+    s = boxplot_summary([])
+    assert math.isnan(s.median)
+    assert s.count == 0
+
+
+def test_boxplot_format():
+    text = boxplot_summary([0.01, 0.02]).format()
+    assert "%" in text and "n=2" in text
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bee"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "---" in lines[1]
+
+
+def test_series_summary():
+    mean, p95, peak = series_summary(np.array([0.0, 1.0, 2.0, 10.0]))
+    assert mean == pytest.approx(3.25)
+    assert peak == 10.0
+    assert p95 <= peak
+
+
+def test_series_summary_empty():
+    assert all(math.isnan(v) for v in series_summary(np.array([])))

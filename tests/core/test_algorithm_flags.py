@@ -1,0 +1,68 @@
+"""Edge-case tests for Algorithm 1's flags and bookkeeping."""
+
+import pytest
+
+from repro.core.algorithm import (
+    identify_non_neutral,
+    identify_non_neutral_exact,
+)
+from repro.core.observability import check_structural_observability
+from repro.topology.figures import figure4
+
+
+def test_prune_disabled_keeps_raw(monkeypatch):
+    fig = figure4()
+    pruned = identify_non_neutral_exact(fig.performance)
+    raw = identify_non_neutral_exact(
+        fig.performance, prune_redundant=False
+    )
+    assert set(raw.identified) == set(raw.identified_raw)
+    assert set(pruned.identified) <= set(raw.identified)
+
+
+def test_min_pathsets_threshold_gates_candidates():
+    fig = figure4()
+    strict = identify_non_neutral_exact(
+        fig.performance, min_pathsets=100
+    )
+    assert strict.identified == ()
+    assert strict.systems == {}
+    assert len(strict.skipped) > 0
+
+
+def test_identified_links_property():
+    fig = figure4()
+    result = identify_non_neutral_exact(fig.performance)
+    assert result.identified_links == {"l1", "l2"}
+
+
+def test_scores_populated_for_all_examined():
+    fig = figure4()
+    result = identify_non_neutral_exact(fig.performance)
+    assert set(result.scores) == set(result.systems)
+    assert all(v >= 0 for v in result.scores.values())
+
+
+def test_structural_observability_top_class_override():
+    fig = figure4()
+    default = check_structural_observability(
+        fig.network, fig.classes, ["l1"]
+    )
+    flipped = check_structural_observability(
+        fig.network, fig.classes, ["l1"], top_class={"l1": "c2"}
+    )
+    # With c2 as the top class, the regulation link targets c1 =
+    # {p1}; Paths(l1) ∩ {p1} = {p1} = Paths(l3) — masked by p1's
+    # private link, so a violation *favoring* the big class would be
+    # unobservable. Direction of differentiation matters.
+    assert default.observable
+    assert not flipped.observable
+    assert any(mask == "l3" for _, mask in flipped.masked)
+
+
+def test_observation_driven_missing_pathset_raises():
+    from repro.exceptions import SliceError
+
+    fig = figure4()
+    with pytest.raises((KeyError, SliceError)):
+        identify_non_neutral(fig.network, {})

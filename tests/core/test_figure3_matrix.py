@@ -1,0 +1,67 @@
+"""Reproduce Figure 3(b): the routing matrix A+ of Figure 1's
+neutral equivalent."""
+
+import numpy as np
+
+from repro.core.equivalent import build_equivalent
+from repro.core.pathsets import family
+from repro.topology.figures import figure1
+
+
+def test_figure3b_matrix():
+    fig = figure1()
+    eq = build_equivalent(fig.performance)
+    fam = family(
+        [
+            ["p1"],
+            ["p2"],
+            ["p3"],
+            ["p1", "p2"],
+            ["p1", "p3"],
+            ["p2", "p3"],
+            ["p1", "p2", "p3"],
+        ]
+    )
+    matrix = eq.routing_matrix(fam)
+    # Columns sorted by virtual-link id:
+    # l1+(c1) [common], l1+(c2) [regulation], l2+, l3+, l4+.
+    assert eq.virtual_link_ids == (
+        "l1+(c1)", "l1+(c2)", "l2+", "l3+", "l4+",
+    )
+    expected = np.array(
+        [
+            [1, 0, 1, 0, 0],  # {p1}
+            [1, 1, 0, 1, 0],  # {p2}
+            [0, 0, 0, 1, 1],  # {p3}
+            [1, 1, 1, 1, 0],  # {p1,p2}
+            [1, 0, 1, 1, 1],  # {p1,p3}
+            [1, 1, 0, 1, 1],  # {p2,p3}
+            [1, 1, 1, 1, 1],  # {p1,p2,p3}
+        ],
+        dtype=float,
+    )
+    np.testing.assert_array_equal(matrix, expected)
+
+
+def test_figure2d_matrix():
+    """Figure 2(d): A+ of the non-observable network."""
+    from repro.topology.figures import figure2
+
+    fig = figure2()
+    eq = build_equivalent(fig.performance)
+    fam = family([["p1"], ["p2"]])
+    matrix = eq.routing_matrix(fam)
+    assert eq.virtual_link_ids == (
+        "l1+(c1)", "l1+(c2)", "l2+", "l3+",
+    )
+    expected = np.array(
+        [
+            [1, 0, 1, 0],  # {p1}
+            [1, 1, 0, 1],  # {p2}
+        ],
+        dtype=float,
+    )
+    np.testing.assert_array_equal(matrix, expected)
+    # The regulation column equals l3's column — the masking the
+    # paper describes ("l1+(2) is indistinguishable from l3").
+    np.testing.assert_array_equal(matrix[:, 1], matrix[:, 3])

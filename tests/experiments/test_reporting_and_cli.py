@@ -1,0 +1,65 @@
+"""Tests for the reporting helpers and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EmulationSettings, run_topology_a
+from repro.experiments.reporting import (
+    render_path_congestion,
+    render_verdict,
+)
+
+QUICK = EmulationSettings(duration_seconds=45.0, warmup_seconds=5.0)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_topology_a(6, 30.0, QUICK)
+
+
+class TestReporting:
+    def test_render_path_congestion(self, outcome):
+        text = render_path_congestion(outcome)
+        assert "p1" in text and "P(congested)" in text
+
+    def test_render_verdict(self, outcome):
+        text = render_verdict(outcome)
+        assert "verdict" in text
+        assert "quality" in text
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8", "--set", "6"])
+        assert args.set == 6
+        args = parser.parse_args(["topo-b", "--seed", "5"])
+        assert args.seed == 5
+        args = parser.parse_args(["theory"])
+        assert args.command == "theory"
+
+    def test_theory_command_runs(self, capsys):
+        assert main(["theory"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out
+        assert "<l1>" in out
+
+    def test_fig8_command_runs(self, capsys):
+        code = main(
+            [
+                "fig8",
+                "--set", "6",
+                "--value", "30.0",
+                "--duration", "30",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+
+    def test_fig8_invalid_value(self, capsys):
+        code = main(
+            ["fig8", "--set", "6", "--value", "33.0", "--duration", "30"]
+        )
+        assert code == 2

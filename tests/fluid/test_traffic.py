@@ -1,0 +1,68 @@
+"""Unit tests for fluid traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.fluid.params import FlowSlotSpec, PathWorkload
+from repro.fluid.traffic import (
+    build_slots,
+    sample_flow_size_packets,
+    sample_gap_seconds,
+)
+
+
+def test_pareto_sizes_have_configured_mean():
+    rng = np.random.default_rng(0)
+    spec = FlowSlotSpec(mean_size_mb=10.0, pareto_shape=2.5)
+    samples = [sample_flow_size_packets(spec, rng) for _ in range(20000)]
+    # mean in packets: 10 Mb = 833.3 packets; Pareto sampling error.
+    assert np.mean(samples) == pytest.approx(833.3, rel=0.1)
+
+
+def test_fixed_size_mode():
+    rng = np.random.default_rng(0)
+    spec = FlowSlotSpec(mean_size_mb=12.0, pareto_shape=0.0)
+    values = [sample_flow_size_packets(spec, rng) for _ in range(5)]
+    assert values == [pytest.approx(1000.0)] * 5
+
+
+def test_gap_exponential_mean():
+    rng = np.random.default_rng(1)
+    spec = FlowSlotSpec(mean_gap_seconds=5.0)
+    samples = [sample_gap_seconds(spec, rng) for _ in range(20000)]
+    assert np.mean(samples) == pytest.approx(5.0, rel=0.05)
+
+
+def test_zero_gap():
+    rng = np.random.default_rng(1)
+    spec = FlowSlotSpec(mean_gap_seconds=0.0)
+    assert sample_gap_seconds(spec, rng) == 0.0
+
+
+def test_build_slots_staggered_and_jittered():
+    rng = np.random.default_rng(2)
+    wl = {
+        "p1": PathWorkload(slots=(FlowSlotSpec(),) * 10),
+        "p2": PathWorkload(slots=(FlowSlotSpec(),) * 10),
+    }
+    slots = build_slots(wl, rng, stagger_seconds=0.5)
+    assert len(slots) == 20
+    starts = {s.next_start for s in slots}
+    assert len(starts) > 10  # staggered
+    assert all(0 <= s.next_start <= 0.5 for s in slots)
+    factors = [s.rtt_factor for s in slots]
+    assert all(0.9 <= f <= 1.1 for f in factors)
+    assert len(set(factors)) > 10
+
+
+def test_slot_lifecycle():
+    rng = np.random.default_rng(3)
+    wl = {"p1": PathWorkload(slots=(FlowSlotSpec(mean_gap_seconds=1.0),))}
+    (slot,) = build_slots(wl, rng, stagger_seconds=0.0)
+    assert not slot.active
+    slot.maybe_start(0.0, rng)
+    assert slot.active
+    slot.complete(1.0, rng)
+    assert not slot.active
+    assert slot.flows_completed == 1
+    assert slot.next_start > 1.0

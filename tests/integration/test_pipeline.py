@@ -1,0 +1,92 @@
+"""Integration tests: full pipeline from emulation to verdict."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate, identify_non_neutral
+from repro.core.slices import build_slice_system
+from repro.experiments import EmulationSettings, run_topology_a
+from repro.experiments.topology_b import (
+    TOPOLOGY_B_SETTINGS,
+    run_topology_b,
+)
+from repro.measurement import pathset_performance_numbers
+from repro.topology.dumbbell import SHARED_LINK
+
+QUICK = EmulationSettings(duration_seconds=90.0, warmup_seconds=5.0)
+
+
+class TestDumbbellPipeline:
+    def test_neutral_dumbbell_verdict(self):
+        out = run_topology_a(1, 10.0, QUICK)
+        assert not out.verdict_non_neutral
+        # All four paths see similar congestion (Fig 8 top row).
+        probs = list(out.path_congestion.values())
+        assert max(probs) - min(probs) < 0.15
+
+    def test_policing_dumbbell_verdict(self):
+        out = run_topology_a(4, 10.0, QUICK)
+        assert out.verdict_non_neutral
+        assert out.algorithm.identified == ((SHARED_LINK,),)
+        # Class-2 paths clearly worse (Fig 8 middle row).
+        c1 = (out.path_congestion["p1"] + out.path_congestion["p2"]) / 2
+        c2 = (out.path_congestion["p3"] + out.path_congestion["p4"]) / 2
+        assert c2 > c1
+
+    def test_shaping_dumbbell_verdict(self):
+        out = run_topology_a(7, 10.0, QUICK)
+        assert out.verdict_non_neutral
+
+    def test_quality_report(self):
+        out = run_topology_a(4, 10.0, QUICK)
+        q = out.quality
+        assert q.false_negative_rate == 0.0
+        assert q.false_positive_rate == 0.0
+        assert q.granularity == pytest.approx(1.0)
+
+
+class TestMeasurementRebinAblation:
+    def test_interval_rebinning_preserves_verdict(self):
+        """Paper §6.5: results stable across measurement intervals."""
+        out = run_topology_a(4, 10.0, QUICK)
+        data = out.emulation.measurements
+        net = out.inference_network
+        system = build_slice_system(net, (SHARED_LINK,))
+        for factor in (2, 5):
+            rebinned = data.rebinned(factor)
+            obs = pathset_performance_numbers(rebinned, system.family)
+            result = identify_non_neutral(net, obs)
+            assert result.identified == ((SHARED_LINK,),), factor
+
+
+class TestTopologyBPipeline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_topology_b(
+            TOPOLOGY_B_SETTINGS.quick(120.0).with_seed(3)
+        )
+
+    def test_policers_covered(self, report):
+        """Headline: no false negatives on at least this seed at a
+        reduced duration; the bench runs the full-length version."""
+        q = report.outcome.quality
+        assert q.false_negative_rate <= 2 / 3
+
+    def test_ground_truth_shape(self, report):
+        """Policers have split class behaviour; the busy neutral
+        ingress l13 treats both classes alike (Fig 10a / Fig 11)."""
+        c1, c2 = report.ground_truth["l14"]
+        assert c2 > c1
+        n1, n2 = report.ground_truth["l13"]
+        assert abs(n1 - n2) < 0.1
+
+    def test_queue_traces_present(self, report):
+        assert set(report.queue_traces_mb) == {"l13", "l14"}
+        for trace in report.queue_traces_mb.values():
+            assert trace.shape[0] == report.outcome.emulation.measurements.num_intervals
+
+    def test_sequences_reported(self, report):
+        assert len(report.sequences) >= 8
+        assert any(s.contains_policer for s in report.sequences)
+        for s in report.sequences:
+            assert len(s.c2_estimates) + len(s.other_estimates) >= 2

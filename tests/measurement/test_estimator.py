@@ -1,0 +1,80 @@
+"""Tests for the estimate diagnostics."""
+
+import math
+
+import pytest
+
+from repro.core.slices import build_slice_system
+from repro.exceptions import MeasurementError
+from repro.measurement.estimator import (
+    SystemDiagnostics,
+    diagnose_system,
+    estimate_variance,
+)
+from repro.topology.figures import figure4
+
+
+@pytest.fixture
+def system_and_obs():
+    fig = figure4()
+    system = build_slice_system(fig.network, ("l1",))
+    obs = {
+        ps: fig.performance.pathset_performance(ps)
+        for ps in system.family
+    }
+    return system, obs
+
+
+class TestEstimateVariance:
+    def test_scaling_with_intervals(self, system_and_obs):
+        system, obs = system_and_obs
+        pair = system.pairs[0]
+        v1 = estimate_variance(obs, pair, 1000)
+        v2 = estimate_variance(obs, pair, 4000)
+        assert v1 == pytest.approx(4 * v2)
+
+    def test_zero_cost_gives_zero_variance(self):
+        obs = {
+            frozenset(["a"]): 0.0,
+            frozenset(["b"]): 0.0,
+            frozenset(["a", "b"]): 0.0,
+        }
+        assert estimate_variance(obs, ("a", "b"), 100) == pytest.approx(
+            0.0
+        )
+
+    def test_invalid_intervals(self, system_and_obs):
+        system, obs = system_and_obs
+        with pytest.raises(MeasurementError):
+            estimate_variance(obs, system.pairs[0], 0)
+
+
+class TestDiagnoseSystem:
+    def test_fields(self, system_and_obs):
+        system, obs = system_and_obs
+        diag = diagnose_system(system, obs, 3000)
+        assert isinstance(diag, SystemDiagnostics)
+        assert diag.sigma == ("l1",)
+        assert set(diag.estimates) == set(system.pairs)
+        assert all(se >= 0 for se in diag.standard_errors.values())
+        assert diag.spread >= 0
+
+    def test_violation_is_many_sigmas(self, system_and_obs):
+        """Figure 4's exact violation dwarfs measurement noise."""
+        system, obs = system_and_obs
+        diag = diagnose_system(system, obs, 3000)
+        assert diag.normalized_spread > 5.0
+
+    def test_neutral_spread_is_zero(self):
+        from repro.core.performance import neutral_performance
+
+        fig = figure4()
+        perf = neutral_performance(
+            fig.network, fig.classes, {"l1": 0.2}
+        )
+        system = build_slice_system(fig.network, ("l1",))
+        obs = {
+            ps: perf.pathset_performance(ps) for ps in system.family
+        }
+        diag = diagnose_system(system, obs, 3000)
+        assert diag.spread == pytest.approx(0.0, abs=1e-12)

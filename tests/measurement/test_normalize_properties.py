@@ -1,0 +1,97 @@
+"""Property-based tests for Algorithm 2's normalization invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.measurement.normalize import (
+    congestion_free_matrix,
+    pathset_performance_numbers,
+)
+from repro.measurement.records import MeasurementData, PathRecord
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@st.composite
+def two_path_data(draw):
+    """Random aligned records for two paths (10–40 intervals)."""
+    n = draw(st.integers(10, 40))
+    records = []
+    for pid in ("p1", "p2"):
+        sent = draw(
+            st.lists(st.integers(1, 500), min_size=n, max_size=n)
+        )
+        lost = [
+            draw(st.integers(0, s)) if s > 0 else 0 for s in sent
+        ]
+        records.append(
+            PathRecord(pid, np.array(sent), np.array(lost))
+        )
+    return MeasurementData(records)
+
+
+@_SETTINGS
+@given(two_path_data())
+def test_costs_are_nonnegative_and_finite(data):
+    fam = (
+        frozenset({"p1"}),
+        frozenset({"p2"}),
+        frozenset({"p1", "p2"}),
+    )
+    obs = pathset_performance_numbers(data, fam)
+    for y in obs.values():
+        assert np.isfinite(y)
+        assert y >= 0.0
+
+
+@_SETTINGS
+@given(two_path_data())
+def test_pair_cost_dominates_members(data):
+    """P(both free) <= P(either free): the pair's cost is at least
+    each member's (up to the clamping floor)."""
+    fam = (
+        frozenset({"p1"}),
+        frozenset({"p2"}),
+        frozenset({"p1", "p2"}),
+    )
+    obs = pathset_performance_numbers(data, fam)
+    pair = obs[frozenset({"p1", "p2"})]
+    assert pair >= obs[frozenset({"p1"})] - 1e-9
+    assert pair >= obs[frozenset({"p2"})] - 1e-9
+
+
+@_SETTINGS
+@given(two_path_data(), st.integers(2, 10))
+def test_scaling_invariance_of_indicators(data, factor):
+    """Multiplying every count by a constant leaves the expected-mode
+    congestion indicators unchanged (fractions are scale-free)."""
+    scaled = MeasurementData(
+        [
+            PathRecord(
+                pid,
+                data.record(pid).sent * factor,
+                data.record(pid).lost * factor,
+            )
+            for pid in data.path_ids
+        ],
+        data.interval_seconds,
+    )
+    s1, v1 = congestion_free_matrix(data, data.path_ids)
+    s2, v2 = congestion_free_matrix(scaled, data.path_ids)
+    np.testing.assert_array_equal(v1, v2)
+    np.testing.assert_array_equal(s1, s2)
+
+
+@_SETTINGS
+@given(two_path_data())
+def test_sampled_mode_never_exceeds_expected_support(data):
+    """Sampled-mode indicators are valid (0/1) and only defined on
+    the same valid intervals as expected mode."""
+    rng = np.random.default_rng(0)
+    s_exp, v_exp = congestion_free_matrix(data, data.path_ids)
+    s_sam, v_sam = congestion_free_matrix(
+        data, data.path_ids, mode="sampled", rng=rng
+    )
+    np.testing.assert_array_equal(v_exp, v_sam)
+    assert set(np.unique(s_sam)) <= {0, 1}

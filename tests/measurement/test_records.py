@@ -1,0 +1,103 @@
+"""Unit tests for measurement records."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.measurement.records import MeasurementData, PathRecord, from_arrays
+
+
+def _record(pid="p1", sent=(10, 20, 30), lost=(0, 2, 3)):
+    return PathRecord(pid, np.array(sent), np.array(lost))
+
+
+class TestPathRecord:
+    def test_basic(self):
+        rec = _record()
+        assert rec.num_intervals == 3
+        np.testing.assert_allclose(
+            rec.loss_fraction(), [0.0, 0.1, 0.1]
+        )
+
+    def test_lost_exceeding_sent_rejected(self):
+        with pytest.raises(MeasurementError):
+            _record(sent=(1, 1), lost=(2, 0))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(MeasurementError):
+            _record(sent=(-1, 1), lost=(0, 0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MeasurementError):
+            PathRecord("p1", np.array([1, 2]), np.array([0]))
+
+    def test_zero_sent_loss_fraction(self):
+        rec = _record(sent=(0, 10), lost=(0, 1))
+        np.testing.assert_allclose(rec.loss_fraction(), [0.0, 0.1])
+
+
+class TestMeasurementData:
+    def test_alignment_enforced(self):
+        with pytest.raises(MeasurementError):
+            MeasurementData(
+                [_record("p1"), _record("p2", sent=(1,), lost=(0,))]
+            )
+
+    def test_duplicate_path_rejected(self):
+        with pytest.raises(MeasurementError):
+            MeasurementData([_record("p1"), _record("p1")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            MeasurementData([])
+
+    def test_duration(self):
+        data = MeasurementData([_record()], interval_seconds=0.1)
+        assert data.duration_seconds == pytest.approx(0.3)
+
+    def test_subset(self):
+        data = MeasurementData([_record("p1"), _record("p2")])
+        sub = data.subset(["p2"])
+        assert sub.path_ids == ("p2",)
+
+    def test_unknown_record(self):
+        data = MeasurementData([_record("p1")])
+        with pytest.raises(MeasurementError):
+            data.record("p9")
+
+    def test_rebinned(self):
+        data = MeasurementData(
+            [_record(sent=(10, 20, 30, 40), lost=(1, 2, 3, 4))],
+            interval_seconds=0.1,
+        )
+        binned = data.rebinned(2)
+        assert binned.num_intervals == 2
+        rec = binned.record("p1")
+        np.testing.assert_array_equal(rec.sent, [30, 70])
+        np.testing.assert_array_equal(rec.lost, [3, 7])
+        assert binned.interval_seconds == pytest.approx(0.2)
+
+    def test_rebinned_drops_tail(self):
+        data = MeasurementData([_record()])  # 3 intervals
+        assert data.rebinned(2).num_intervals == 1
+
+    def test_rebinned_factor_one_identity(self):
+        data = MeasurementData([_record()])
+        assert data.rebinned(1) is data
+
+    def test_rebinned_invalid(self):
+        data = MeasurementData([_record()])
+        with pytest.raises(MeasurementError):
+            data.rebinned(0)
+        with pytest.raises(MeasurementError):
+            data.rebinned(10)
+
+    def test_from_arrays(self):
+        data = from_arrays(
+            {"p1": np.array([5, 5])}, {"p1": np.array([1, 0])}
+        )
+        assert data.record("p1").lost.sum() == 1
+
+    def test_from_arrays_mismatched_paths(self):
+        with pytest.raises(MeasurementError):
+            from_arrays({"p1": np.array([1])}, {"p2": np.array([0])})

@@ -1,0 +1,103 @@
+"""Tests for the classical tomography baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.network import network_from_path_specs
+from repro.measurement.records import MeasurementData, PathRecord
+from repro.tomography import (
+    boolean_tomography,
+    lsq_tomography,
+    path_states,
+    smallest_explanation,
+)
+
+
+def _net():
+    # Three paths over a shared link l0 plus private links.
+    return network_from_path_specs(
+        {
+            "p1": ["l0", "l1"],
+            "p2": ["l0", "l2"],
+            "p3": ["l0", "l3"],
+        }
+    )
+
+
+def _data(loss_pattern):
+    """loss_pattern: {path: list of loss fractions per interval}."""
+    records = []
+    for pid, fracs in loss_pattern.items():
+        sent = np.full(len(fracs), 100, dtype=np.int64)
+        lost = np.array([int(100 * f) for f in fracs], dtype=np.int64)
+        records.append(PathRecord(pid, sent, lost))
+    return MeasurementData(records)
+
+
+class TestPathStates:
+    def test_states(self):
+        data = _data({"p1": [0.0, 0.05], "p2": [0.0, 0.0]})
+        states, ids = path_states(data, ["p1", "p2"])
+        assert ids == ("p1", "p2")
+        np.testing.assert_array_equal(states[0], [True, False])
+        np.testing.assert_array_equal(states[1], [True, True])
+
+
+class TestSmallestExplanation:
+    def test_shared_link_blamed(self):
+        net = _net()
+        blamed = smallest_explanation(
+            net, good_paths=set(), bad_paths={"p1", "p2", "p3"}
+        )
+        assert blamed == {"l0"}
+
+    def test_good_path_exonerates(self):
+        net = _net()
+        blamed = smallest_explanation(
+            net, good_paths={"p3"}, bad_paths={"p1"}
+        )
+        # l0 on a good path => p1's private l1 must be at fault.
+        assert blamed == {"l1"}
+
+    def test_unexplainable(self):
+        net = _net()
+        blamed = smallest_explanation(
+            net, good_paths={"p1", "p2", "p3"}, bad_paths=set()
+        )
+        assert blamed == frozenset()
+
+
+class TestBooleanTomography:
+    def test_localizes_shared_congestion(self):
+        # All paths congested together in 3 of 10 intervals.
+        frac = [0.05, 0, 0, 0.05, 0, 0, 0.05, 0, 0, 0]
+        data = _data({p: frac for p in ("p1", "p2", "p3")})
+        result = boolean_tomography(_net(), data)
+        assert result.link_congestion["l0"] == pytest.approx(0.3)
+        assert result.link_congestion["l1"] == 0.0
+
+    def test_misattributes_under_differentiation(self):
+        """The paper's motivation: when l0 congests only p3's class,
+        neutral tomography blames p3's private link instead."""
+        data = _data(
+            {
+                "p1": [0.0] * 10,
+                "p2": [0.0] * 10,
+                "p3": [0.05] * 10,
+            }
+        )
+        result = boolean_tomography(_net(), data)
+        assert result.link_congestion["l0"] == 0.0
+        assert result.link_congestion["l3"] == pytest.approx(1.0)
+
+
+class TestLsqTomography:
+    def test_neutral_fit(self):
+        frac = [0.05, 0, 0, 0.05, 0] * 2
+        data = _data({p: frac for p in ("p1", "p2", "p3")})
+        result = lsq_tomography(_net(), data)
+        assert result.residual_norm == pytest.approx(0.0, abs=1e-9)
+        # Shared cost may land on l0 or be spread; total path cost of
+        # p1 must match its observation.
+        total = result.link_costs["l0"] + result.link_costs["l1"]
+        assert total == pytest.approx(-np.log(0.6), rel=0.05)

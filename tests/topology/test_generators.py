@@ -1,0 +1,99 @@
+"""Tests for the random topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import identify_non_neutral_exact
+from repro.core.slices import shared_sequences
+from repro.exceptions import ConfigurationError
+from repro.topology.generators import (
+    chain_network,
+    random_mesh_network,
+    random_tree_network,
+    random_two_class_performance,
+    star_network,
+)
+
+
+class TestStar:
+    def test_structure(self):
+        net = star_network(4)
+        assert len(net.paths) == 4
+        for pid in net.path_ids:
+            assert "hub" in net.links_of(pid)
+
+    def test_hub_is_only_shared_sequence(self):
+        net = star_network(5)
+        assert set(shared_sequences(net)) == {("hub",)}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            star_network(1)
+
+
+class TestChain:
+    def test_structure(self):
+        net = chain_network(3, 4)
+        assert len(net.paths) == 4
+        # p1 has the longest prefix.
+        assert net.links_of("p1") >= {"c1", "c2", "c3"}
+
+    def test_nested_shared_sequences(self):
+        net = chain_network(3, 4)
+        buckets = shared_sequences(net)
+        assert ("c1",) in buckets or ("c1", "c2") in buckets
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            chain_network(0, 2)
+
+
+class TestRandomTree:
+    def test_deterministic(self):
+        a = random_tree_network(np.random.default_rng(5))
+        b = random_tree_network(np.random.default_rng(5))
+        assert a.path_ids == b.path_ids
+        assert a.link_ids == b.link_ids
+
+    def test_paths_are_loop_free(self):
+        for seed in range(8):
+            net = random_tree_network(np.random.default_rng(seed))
+            for pid in net.path_ids:
+                links = net.path(pid).links
+                assert len(set(links)) == len(links)
+
+
+class TestRandomMesh:
+    def test_structure(self):
+        net = random_mesh_network(np.random.default_rng(1), num_stubs=4)
+        assert len(net.paths) == 6  # all stub pairs
+        for pid in net.path_ids:
+            links = net.links_of(pid)
+            assert any(l.startswith("a") for l in links)
+            assert any(l.startswith("in") for l in links)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_mesh_network(np.random.default_rng(0), num_stubs=2)
+
+
+class TestRandomPerformance:
+    def test_violations_planted(self):
+        rng = np.random.default_rng(2)
+        net = star_network(4)
+        perf, classes = random_two_class_performance(
+            rng, net, num_violations=2
+        )
+        assert len(perf.non_neutral_links) == 2
+        assert len(classes) == 2
+
+    def test_exact_algorithm_never_false_positive_on_random(self):
+        """Across random meshes with planted violations, exact-mode
+        Algorithm 1 reports only sequences touching a violator."""
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            net = random_mesh_network(rng, num_stubs=4, extra_edges=1)
+            perf, _ = random_two_class_performance(rng, net)
+            result = identify_non_neutral_exact(perf, tol=1e-7)
+            for sigma in result.identified:
+                assert set(sigma) & perf.non_neutral_links, (seed, sigma)

@@ -1,0 +1,60 @@
+"""Tests for the Table 1 / Table 3 workload profiles."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    TABLE1,
+    TABLE3,
+    class_workload,
+    group_workload,
+    slots_for_size,
+)
+
+
+def test_table1_defaults_are_in_the_grid():
+    assert TABLE1.default_rtt_ms in TABLE1.rtt_ms
+    assert TABLE1.default_rate_percent in TABLE1.rate_percent
+    assert TABLE1.default_mean_flow_size_mb in TABLE1.mean_flow_size_mb
+    assert TABLE1.default_flows_per_path in TABLE1.flows_per_path
+    assert (
+        TABLE1.default_loss_threshold_percent
+        in TABLE1.loss_threshold_percent
+    )
+
+
+def test_slots_for_size_calibration():
+    assert slots_for_size(1.0) == 70  # Table 1's high-parallelism value
+    assert slots_for_size(10.0) == TABLE1.default_flows_per_path
+    assert slots_for_size(10000.0) == TABLE1.default_flows_per_path
+
+
+def test_class_workload_uniform():
+    wl = class_workload(["p1", "p2"], mean_size_mb=10.0, rtt_ms=80.0)
+    assert set(wl) == {"p1", "p2"}
+    assert wl["p1"].rtt_seconds == pytest.approx(0.08)
+    assert len(wl["p1"].slots) == 15
+
+
+def test_class_workload_explicit_slots():
+    wl = class_workload(["p1"], mean_size_mb=10.0, flows_per_path=3)
+    assert len(wl["p1"].slots) == 3
+
+
+def test_table3_groups():
+    assert TABLE3["dark"].flow_sizes_mb == (1.0, 10.0, 40.0)
+    assert TABLE3["light"].flow_sizes_mb == (10000.0,)
+    assert not TABLE3["white"].measured
+    assert TABLE3["dark"].measured
+
+
+def test_group_workload_fixed_sizes():
+    wl = group_workload(TABLE3["dark"], parallel_copies=2)
+    assert len(wl.slots) == 6
+    assert all(slot.pareto_shape == 0.0 for slot in wl.slots)
+    sizes = sorted(slot.mean_size_mb for slot in wl.slots)
+    assert sizes == [1.0, 1.0, 10.0, 10.0, 40.0, 40.0]
+
+
+def test_group_workload_measured_flag():
+    assert not group_workload(TABLE3["white"]).measured
+    assert group_workload(TABLE3["light"]).measured

@@ -8,7 +8,13 @@ Paper claims reproduced here:
 """
 
 import pytest
-from conftest import BENCH_SETTINGS, heading, run_once
+from conftest import (
+    BENCH_CACHE,
+    BENCH_SETTINGS,
+    BENCH_WORKERS,
+    heading,
+    run_once,
+)
 
 from repro.analysis.stats import format_table
 from repro.experiments.topology_a import experiment_values, run_full_set
@@ -36,7 +42,12 @@ def _render(set_number, results):
 @pytest.mark.parametrize("set_number", [1, 2, 3])
 def test_fig8_neutral_sets(benchmark, set_number):
     results = run_once(
-        benchmark, run_full_set, set_number, BENCH_SETTINGS
+        benchmark,
+        run_full_set,
+        set_number,
+        BENCH_SETTINGS,
+        workers=BENCH_WORKERS,
+        cache_dir=BENCH_CACHE,
     )
     _render(set_number, results)
     for value, outcome in results:

@@ -14,7 +14,13 @@ uses them (``slots_for_size``).
 """
 
 import pytest
-from conftest import BENCH_SETTINGS, heading, run_once
+from conftest import (
+    BENCH_CACHE,
+    BENCH_SETTINGS,
+    BENCH_WORKERS,
+    heading,
+    run_once,
+)
 
 from repro.analysis.stats import format_table
 from repro.experiments.topology_a import run_full_set
@@ -43,7 +49,12 @@ def _render(set_number, results):
 @pytest.mark.parametrize("set_number", [4, 5, 6])
 def test_fig8_policing_sets(benchmark, set_number):
     results = run_once(
-        benchmark, run_full_set, set_number, BENCH_SETTINGS
+        benchmark,
+        run_full_set,
+        set_number,
+        BENCH_SETTINGS,
+        workers=BENCH_WORKERS,
+        cache_dir=BENCH_CACHE,
     )
     _render(set_number, results)
     detected = 0

@@ -9,7 +9,13 @@ Paper claims reproduced here:
 """
 
 import pytest
-from conftest import BENCH_SETTINGS, heading, run_once
+from conftest import (
+    BENCH_CACHE,
+    BENCH_SETTINGS,
+    BENCH_WORKERS,
+    heading,
+    run_once,
+)
 
 from repro.analysis.stats import format_table
 from repro.experiments.topology_a import run_full_set
@@ -38,7 +44,12 @@ def _render(set_number, results):
 @pytest.mark.parametrize("set_number", [7, 8])
 def test_fig8_shaping_sets(benchmark, set_number):
     results = run_once(
-        benchmark, run_full_set, set_number, BENCH_SETTINGS
+        benchmark,
+        run_full_set,
+        set_number,
+        BENCH_SETTINGS,
+        workers=BENCH_WORKERS,
+        cache_dir=BENCH_CACHE,
     )
     _render(set_number, results)
     detected = 0
@@ -55,7 +66,14 @@ def test_fig8_shaping_sets(benchmark, set_number):
 
 def test_fig8_shaping_rate_sweep(benchmark):
     """Set 9, including the rate-50 % exception."""
-    results = run_once(benchmark, run_full_set, 9, BENCH_SETTINGS)
+    results = run_once(
+        benchmark,
+        run_full_set,
+        9,
+        BENCH_SETTINGS,
+        workers=BENCH_WORKERS,
+        cache_dir=BENCH_CACHE,
+    )
     _render(9, results)
     for value, outcome in results:
         probs = outcome.path_congestion

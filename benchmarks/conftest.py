@@ -5,7 +5,18 @@ experiment once (``benchmark.pedantic`` with a single round — the
 benchmark clock then reports the cost of regenerating the artifact),
 prints the reproduced rows/series, and asserts the paper's qualitative
 claims so a regression in reproduction quality fails the bench.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_QUICK=1`` — shorten emulations to 120 s smoke runs
+  (CI uses this; the full-length claims are asserted locally).
+* ``REPRO_BENCH_WORKERS=N`` — fan sweep-shaped benches over N
+  processes via :class:`repro.experiments.sweep.SweepRunner`.
+* ``REPRO_BENCH_CACHE=DIR`` — memoize sweep points on disk, so
+  re-running a bench harness replays finished experiments.
 """
+
+import os
 
 import pytest
 
@@ -13,8 +24,19 @@ from repro.experiments.config import EmulationSettings
 
 #: Bench-wide emulation length. The paper runs 600 s; 240 s keeps the
 #: full harness under ~15 minutes while (per the calibration notes in
-#: EXPERIMENTS.md) leaving verdicts stable.
-BENCH_SETTINGS = EmulationSettings(duration_seconds=240.0, seed=3)
+#: EXPERIMENTS.md) leaving verdicts stable. Quick mode (CI smoke)
+#: drops to 120 s — the shortest span at which the rarest asserted
+#: event (an all-paths-congested interval on the neutral dumbbell)
+#: still shows up reliably.
+BENCH_QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+BENCH_SETTINGS = EmulationSettings(
+    duration_seconds=120.0 if BENCH_QUICK else 240.0, seed=3
+)
+
+#: Sweep-parallelism knobs for benches that run whole experiment sets.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 def run_once(benchmark, fn, *args, **kwargs):

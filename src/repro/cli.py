@@ -5,6 +5,8 @@ Commands:
 * ``theory`` — the paper's worked examples, analytically (instant).
 * ``fig8 --set N [--value V]`` — one topology-A experiment (set 1–9).
 * ``topo-b [--seed S]`` — the topology-B experiment with reports.
+* ``sweep [--sets 1,2,…] --workers N [--cache DIR]`` — the Table 2
+  sweep fanned over a process pool with result caching.
 
 Every command prints the same tables the benchmark harness produces.
 """
@@ -122,6 +124,40 @@ def _cmd_topo_b(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import render_sweep_summary
+    from repro.experiments.sweep import SweepRunner
+    from repro.experiments.topology_a import sweep_points
+
+    try:
+        set_numbers = sorted(
+            {int(s) for s in args.sets.split(",") if s.strip()}
+        )
+    except ValueError:
+        print(f"bad --sets value {args.sets!r}", file=sys.stderr)
+        return 2
+    bad = [n for n in set_numbers if not 1 <= n <= 9]
+    if bad or not set_numbers:
+        print("--sets takes a comma list of set numbers 1-9", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    settings = EmulationSettings(
+        duration_seconds=args.duration, seed=args.seed
+    )
+    points = sweep_points(set_numbers, settings)
+    runner = SweepRunner.for_settings(
+        settings, workers=args.workers, cache_dir=args.cache
+    )
+    print(
+        f"Sweeping {len(points)} points over {args.workers} worker(s)..."
+    )
+    results = runner.run(points)
+    print(render_sweep_summary(results, runner.stats))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -150,6 +186,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the 300 s default",
     )
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel Table 2 sweep with result caching"
+    )
+    sweep.add_argument(
+        "--sets",
+        default="1,2,3,4,5,6,7,8,9",
+        help="comma list of Table 2 set numbers (default: all)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size (1 = run inline)",
+    )
+    sweep.add_argument(
+        "--cache",
+        default=None,
+        help="result-cache directory (default: no caching)",
+    )
+    sweep.add_argument("--duration", type=float, default=120.0)
+    sweep.add_argument("--seed", type=int, default=1)
     return parser
 
 
@@ -159,6 +217,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "theory": _cmd_theory,
         "fig8": _cmd_fig8,
         "topo-b": _cmd_topo_b,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

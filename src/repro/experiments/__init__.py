@@ -6,6 +6,12 @@ from repro.experiments.runner import (
     measured_subnetwork,
     run_experiment,
 )
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepRunner,
+    SweepStats,
+    derive_seed,
+)
 from repro.experiments.topology_a import (
     TABLE2_SETS,
     TopologyAExperiment,
@@ -13,12 +19,14 @@ from repro.experiments.topology_a import (
     experiment_values,
     run_full_set,
     run_topology_a,
+    sweep_points,
 )
 from repro.experiments.reporting import (
     render_ground_truth,
     render_path_congestion,
     render_queue_traces,
     render_sequences,
+    render_sweep_summary,
     render_verdict,
 )
 from repro.experiments.topology_b import (
@@ -26,6 +34,8 @@ from repro.experiments.topology_b import (
     SequenceEstimates,
     TopologyBReport,
     run_topology_b,
+    run_topology_b_point,
+    run_topology_b_sweep,
     table3_workloads,
 )
 
@@ -33,11 +43,15 @@ __all__ = [
     "EmulationSettings",
     "ExperimentOutcome",
     "SequenceEstimates",
+    "SweepPoint",
+    "SweepRunner",
+    "SweepStats",
     "TABLE2_SETS",
     "TOPOLOGY_B_SETTINGS",
     "TopologyAExperiment",
     "TopologyBReport",
     "build_experiment",
+    "derive_seed",
     "experiment_values",
     "measured_subnetwork",
     "run_experiment",
@@ -47,7 +61,11 @@ __all__ = [
     "render_path_congestion",
     "render_queue_traces",
     "render_sequences",
+    "render_sweep_summary",
     "render_verdict",
     "run_topology_b",
+    "run_topology_b_point",
+    "run_topology_b_sweep",
+    "sweep_points",
     "table3_workloads",
 ]

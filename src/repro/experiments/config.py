@@ -66,6 +66,15 @@ class EmulationSettings:
     def with_seed(self, seed: int) -> "EmulationSettings":
         return replace(self, seed=seed)
 
+    def fingerprint(self) -> str:
+        """Stable textual identity of every knob, for sweep caching.
+
+        A frozen dataclass repr enumerates all fields with their
+        values deterministically, which is exactly what the sweep
+        cache needs to distinguish settings variants.
+        """
+        return repr(self)
+
     def quick(self, duration_seconds: float = 60.0) -> "EmulationSettings":
         """A shortened copy for tests and smoke runs."""
         return replace(self, duration_seconds=duration_seconds)

@@ -51,6 +51,49 @@ def render_verdict(outcome: ExperimentOutcome) -> str:
     return "\n".join(lines)
 
 
+def render_sweep_summary(
+    results, stats=None
+) -> str:
+    """One row per sweep point: verdict, identified set, quality.
+
+    Args:
+        results: ``{point_key: ExperimentOutcome}`` as produced by a
+            :class:`~repro.experiments.sweep.SweepRunner` over
+            topology-A points.
+        stats: Optional ``SweepStats`` to summarize cache behaviour.
+    """
+    rows = []
+    for key, outcome in results.items():
+        identified = (
+            "; ".join(
+                "<" + ",".join(s) + ">" for s in outcome.algorithm.identified
+            )
+            or "-"
+        )
+        quality = ""
+        if outcome.quality is not None:
+            q = outcome.quality
+            quality = (
+                f"FN {q.false_negative_rate:.0%} "
+                f"FP {q.false_positive_rate:.0%}"
+            )
+        rows.append(
+            (
+                key,
+                "NON-NEUTRAL" if outcome.verdict_non_neutral else "neutral",
+                identified,
+                quality,
+            )
+        )
+    table = format_table(["point", "verdict", "identified", "quality"], rows)
+    if stats is not None:
+        table += (
+            f"\ncache: {stats.cache_hits} hits, "
+            f"{stats.cache_misses} misses, {stats.executed} executed"
+        )
+    return table
+
+
 def render_ground_truth(report: TopologyBReport) -> str:
     """Figure 10(a)-style table."""
     rows = []

@@ -1,0 +1,236 @@
+"""Parallel sweep execution with deterministic seeding and caching.
+
+Every figure and table of the paper is a *sweep*: a list of mutually
+independent experiment points (a Table 2 set × its x-axis values,
+topology B × seeds, an ablation grid). The seed runner executed them
+strictly sequentially; :class:`SweepRunner` fans them out over
+``multiprocessing`` workers and memoizes finished points in an
+on-disk cache, while keeping results bit-reproducible:
+
+* **Deterministic per-point seeding.** Each point's emulation seed is
+  derived from the runner's base seed and the point's key via CRC-32
+  (stable across processes and Python builds, unlike ``hash``), so a
+  point's result depends only on ``(base_seed, key, spec)`` — never
+  on worker count, scheduling order, or which points share the run.
+* **Order-independent collection.** Results are returned keyed by
+  point, in submission order, regardless of completion order.
+* **On-disk memoization.** A point's cache entry is keyed by the
+  SHA-256 of its full spec (function, kwargs, derived seed, engine
+  version), so re-running a sweep replays cache hits instead of
+  re-emulating. Bumping :data:`repro.fluid.engine.ENGINE_VERSION`
+  invalidates entries when the *emulation model* changes; no other
+  code is fingerprinted — experiment construction (topology
+  builders, workload profiles) and downstream inference/analysis
+  both feed the cached results without being part of the key, so
+  clear the cache directory (or pass a fresh ``cache_salt``) after
+  changing any of that code.
+
+Points must be *picklable*: a module-level callable plus plain-data
+kwargs. The callable receives ``seed=<derived seed>`` on top of its
+kwargs and must be pure given those arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.fluid.engine import ENGINE_VERSION
+
+
+def derive_seed(base_seed: int, key: str) -> int:
+    """Stable per-point seed: CRC-32 of the key folded with the base.
+
+    ``zlib.crc32`` is deterministic across processes and platforms
+    (Python's builtin ``hash`` is salted per process, which would
+    make worker results irreproducible).
+    """
+    return (int(base_seed) * 1_000_003 + zlib.crc32(key.encode())) % (2**31)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent unit of a sweep.
+
+    Attributes:
+        key: Unique, human-readable point id (also the seed salt).
+        func: Module-level callable run as ``func(seed=..., **kwargs)``.
+        kwargs: Plain-data keyword arguments for ``func``.
+        seed: Explicit emulation seed; ``None`` (the default) derives
+            one from the runner's base seed and ``key``. Set it when
+            a sweep must reproduce canonical seeds (e.g. a figure
+            bench pinned to specific realizations).
+    """
+
+    key: str
+    func: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def spec_digest(self, seed: int, salt: str) -> str:
+        """Cache digest of everything that determines the result."""
+        parts = [
+            self.key,
+            f"{self.func.__module__}.{self.func.__qualname__}",
+            repr(sorted(self.kwargs.items())),
+            str(seed),
+            salt,
+            ENGINE_VERSION,
+        ]
+        return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
+def _execute(args: Tuple[SweepPoint, int]) -> Tuple[str, Any]:
+    point, seed = args
+    return point.key, point.func(seed=seed, **dict(point.kwargs))
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one :meth:`SweepRunner.run` call."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+
+
+class SweepRunner:
+    """Run independent sweep points, in parallel, with memoization.
+
+    Args:
+        base_seed: Folded into every point's derived seed.
+        workers: Process count; 1 runs inline (no pool, easier to
+            debug and profile — results are identical by design).
+        cache_dir: Directory for result pickles; ``None`` disables
+            caching.
+        cache_salt: Extra cache-key component (e.g. a settings
+            fingerprint not captured in point kwargs).
+    """
+
+    def __init__(
+        self,
+        base_seed: int = 1,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        cache_salt: str = "",
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.base_seed = base_seed
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.cache_salt = cache_salt
+        self.stats = SweepStats()
+
+    @classmethod
+    def for_settings(
+        cls,
+        settings,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+    ) -> "SweepRunner":
+        """Runner bound to an :class:`~repro.experiments.config.
+        EmulationSettings`: its seed becomes the base seed and its
+        fingerprint the cache salt, so two sweeps with different
+        settings can never collide in the same cache directory."""
+        return cls(
+            base_seed=settings.seed,
+            workers=workers,
+            cache_dir=cache_dir,
+            cache_salt=settings.fingerprint(),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _cache_path(self, digest: str) -> str:
+        return os.path.join(self.cache_dir, f"{digest}.pkl")
+
+    def _cache_load(self, digest: str):
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(digest)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # Best-effort: a missing, truncated, or stale entry (e.g.
+            # pickled against an older class layout, which raises
+            # AttributeError/ImportError rather than UnpicklingError)
+            # is simply a miss.
+            return None
+
+    def _cache_store(self, digest: str, result: Any) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._cache_path(digest)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            # Caching is best-effort: an unwritable directory or an
+            # unpicklable result must not lose the computed sweep.
+            try:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+
+    def run(self, points: Sequence[SweepPoint]) -> Dict[str, Any]:
+        """Run every point; returns ``{key: result}`` in point order.
+
+        Cache hits are returned without executing; misses run on the
+        worker pool (or inline for ``workers=1``) and are stored.
+        """
+        keys = [p.key for p in points]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError("sweep point keys must be unique")
+        self.stats = SweepStats()  # per-run bookkeeping, as documented
+        results: Dict[str, Any] = {}
+        pending: List[Tuple[SweepPoint, int, str]] = []
+        for point in points:
+            seed = (
+                point.seed
+                if point.seed is not None
+                else derive_seed(self.base_seed, point.key)
+            )
+            digest = point.spec_digest(seed, self.cache_salt)
+            cached = self._cache_load(digest)
+            if cached is not None:
+                results[point.key] = cached
+                self.stats.cache_hits += 1
+            else:
+                pending.append((point, seed, digest))
+                self.stats.cache_misses += 1
+
+        if pending:
+            tasks = [(point, seed) for point, seed, _ in pending]
+            if self.workers == 1 or len(pending) == 1:
+                completed = list(map(_execute, tasks))
+            else:
+                import multiprocessing as mp
+                import sys
+
+                # fork is the cheap option where it is safe (Linux);
+                # elsewhere fall back to the platform default (spawn)
+                # — points are picklable by contract, so both work.
+                method = "fork" if sys.platform == "linux" else None
+                ctx = mp.get_context(method)
+                with ctx.Pool(min(self.workers, len(pending))) as pool:
+                    completed = pool.map(_execute, tasks)
+            self.stats.executed += len(completed)
+            digests = {point.key: digest for point, _, digest in pending}
+            for key, result in completed:
+                results[key] = result
+                self._cache_store(digests[key], result)
+
+        return {key: results[key] for key in keys}

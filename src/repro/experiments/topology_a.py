@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.experiments.config import EmulationSettings
 from repro.experiments.runner import ExperimentOutcome, run_experiment
+from repro.experiments.sweep import SweepPoint, SweepRunner
 from repro.fluid.params import PathWorkload
 from repro.topology.dumbbell import (
     CLASS1_PATHS,
@@ -168,12 +169,78 @@ def run_topology_a(
     )
 
 
+def _sweep_point(
+    set_number: int,
+    value: object,
+    settings: EmulationSettings,
+    seed: int,
+) -> ExperimentOutcome:
+    """Module-level sweep-point body (picklable for worker pools).
+
+    The sweep derives ``seed`` per point; it replaces the seed baked
+    into ``settings`` so each point gets an independent emulation RNG
+    regardless of how the sweep was configured.
+    """
+    return run_topology_a(set_number, value, settings.with_seed(seed))
+
+
+def sweep_points(
+    set_numbers,
+    settings: EmulationSettings,
+    derive_seeds: bool = True,
+) -> List[SweepPoint]:
+    """Sweep points covering the given Table 2 sets (all values).
+
+    Args:
+        set_numbers: Table 2 set numbers to cover.
+        settings: Common emulation settings.
+        derive_seeds: ``True`` (default) gives every point an
+            independent seed derived from ``settings.seed`` and the
+            point key; ``False`` pins every point to ``settings.seed``
+            itself, reproducing the sequential runner's realizations
+            exactly (the figure benches rely on those).
+    """
+    points = []
+    for set_number in set_numbers:
+        for value in experiment_values(set_number):
+            points.append(
+                SweepPoint(
+                    key=f"topoA/set{set_number}/{value}",
+                    func=_sweep_point,
+                    kwargs={
+                        "set_number": set_number,
+                        "value": value,
+                        "settings": settings,
+                    },
+                    seed=None if derive_seeds else settings.seed,
+                )
+            )
+    return points
+
+
 def run_full_set(
     set_number: int,
     settings: EmulationSettings = EmulationSettings(),
+    workers: int = 1,
+    cache_dir: str = None,
 ) -> List[Tuple[object, ExperimentOutcome]]:
-    """Run all experiments of one Table 2 set."""
+    """Run all experiments of one Table 2 set.
+
+    With ``workers > 1`` the set's values run on a process pool; with
+    a ``cache_dir`` finished points are memoized on disk. Results are
+    identical for any worker count, and identical to the seed
+    sequential runner: every point runs at ``settings.seed`` (the
+    Figure 8 benches assert claims about those exact realizations —
+    use :func:`sweep_points` directly for independently-seeded
+    points).
+    """
+    runner = SweepRunner.for_settings(
+        settings, workers=workers, cache_dir=cache_dir
+    )
+    results = runner.run(
+        sweep_points([set_number], settings, derive_seeds=False)
+    )
     return [
-        (value, run_topology_a(set_number, value, settings))
+        (value, results[f"topoA/set{set_number}/{value}"])
         for value in experiment_values(set_number)
     ]

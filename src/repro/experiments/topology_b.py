@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.network import LinkSeq
 from repro.experiments.config import EmulationSettings
 from repro.experiments.runner import ExperimentOutcome, run_experiment
+from repro.experiments.sweep import SweepPoint, SweepRunner
 from repro.fluid.params import MSS_BITS, PathWorkload
 from repro.topology.multi_isp import (
     NEUTRAL_BUSY_LINK,
@@ -182,3 +183,44 @@ def run_topology_b(
         sequences=tuple(sequences),
         queue_traces_mb=traces,
     )
+
+
+def run_topology_b_point(
+    settings: EmulationSettings,
+    policing_rate: float,
+    seed: int,
+) -> TopologyBReport:
+    """One topology-B sweep point (module-level, so worker pools can
+    pickle it); ``seed`` replaces the seed baked into ``settings``."""
+    return run_topology_b(settings.with_seed(seed), policing_rate)
+
+
+def run_topology_b_sweep(
+    repetitions: int = 4,
+    settings: EmulationSettings = TOPOLOGY_B_SETTINGS,
+    policing_rate: float = 0.15,
+    workers: int = 1,
+    cache_dir: str = None,
+) -> List[TopologyBReport]:
+    """Run several independently-seeded topology-B repetitions.
+
+    The paper reports topology-B quality metrics as probabilities, so
+    a single realization is noisy; fanning repetitions over workers
+    makes multi-seed aggregates as cheap as one sequential run.
+    Per-repetition seeds derive from ``settings.seed`` and the
+    repetition index, so the result list is identical for any worker
+    count.
+    """
+    points = [
+        SweepPoint(
+            key=f"topoB/rate{policing_rate}/rep{rep}",
+            func=run_topology_b_point,
+            kwargs={"settings": settings, "policing_rate": policing_rate},
+        )
+        for rep in range(repetitions)
+    ]
+    runner = SweepRunner.for_settings(
+        settings, workers=workers, cache_dir=cache_dir
+    )
+    results = runner.run(points)
+    return [results[p.key] for p in points]

@@ -9,6 +9,8 @@ structure the inference pipeline depends on. See
 from repro.fluid.engine import (
     DEFAULT_DT,
     DEFAULT_INTERVAL,
+    ENGINE_VERSION,
+    FluidEngine,
     FluidNetwork,
     FluidResult,
 )
@@ -34,7 +36,9 @@ from repro.fluid.traffic import (
 __all__ = [
     "DEFAULT_DT",
     "DEFAULT_INTERVAL",
+    "ENGINE_VERSION",
     "FlowSlot",
+    "FluidEngine",
     "FlowSlotSpec",
     "FluidLinkSpec",
     "FluidNetwork",

@@ -1,4 +1,4 @@
-"""The fluid network emulator (DESIGN.md S11).
+"""The fluid network emulator (DESIGN.md S11), vectorized.
 
 A time-stepped fluid analogue of the paper's user-level emulator:
 flows offer ``cwnd/RTT`` worth of traffic per step, links serve at
@@ -8,6 +8,16 @@ inference pipeline only consumes per-interval *(sent, lost)* counts
 per path — which this model produces with the right event structure —
 plus per-link ground truth and queue-occupancy traces for Figures 10a
 and 11.
+
+The inner loop is batched numpy over flow/link/path arrays: per-slot
+offers, per-link service, drop attribution, and TCP window updates
+all advance every object at once (see :class:`~repro.fluid.tcp.
+TcpArrayState` and :class:`~repro.fluid.traffic.SlotArrays`). The
+seed's per-object implementation is frozen as
+:mod:`repro.fluid.engine_scalar` and pins this one through the golden
+equivalence tests. Rare events (flow starts/completions, droptail
+bursts) fall back to index subsets, so the common loss-free step
+costs a fixed number of array operations regardless of flow count.
 
 Loss-attribution model (important for fidelity):
 
@@ -46,9 +56,14 @@ import numpy as np
 from repro.core.classes import ClassAssignment
 from repro.core.network import Network
 from repro.exceptions import ConfigurationError, EmulationError
-from repro.fluid.params import FluidLinkSpec, PathWorkload
-from repro.fluid.traffic import FlowSlot, build_slots
+from repro.fluid.params import FluidLinkSpec, PathWorkload, build_link_arrays
+from repro.fluid.tcp import TcpArrayState
+from repro.fluid.traffic import SlotArrays
 from repro.measurement.records import MeasurementData, PathRecord
+
+#: Engine implementation tag; part of the sweep result-cache key so
+#: cached outcomes are invalidated when the emulation model changes.
+ENGINE_VERSION = "fluid-vec-1"
 
 #: Default step length (seconds).
 DEFAULT_DT = 0.01
@@ -69,27 +84,8 @@ DEFAULT_SEND_JITTER_CV = 0.5
 #: Time constant (seconds) of the smoothed-RTT filter flows pace on.
 SRTT_TIME_CONSTANT = 0.2
 
-
-@dataclass
-class _LinkState:
-    """Mutable runtime state of one link."""
-
-    spec: FluidLinkSpec
-    queue: float = 0.0  # common droptail queue, packets
-    tokens: float = 0.0  # policer bucket, packets
-    shaper_target_queue: float = 0.0
-    shaper_other_queue: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.spec.policer is not None:
-            self.tokens = self.spec.policer.burst_seconds * (
-                self.spec.policer.rate_fraction * self.spec.capacity_pps
-            )
-
-    @property
-    def occupancy_packets(self) -> float:
-        """Total buffered traffic (common + shaper queues)."""
-        return self.queue + self.shaper_target_queue + self.shaper_other_queue
+#: Steps of send jitter drawn per RNG call (amortizes call overhead).
+_JITTER_BLOCK_STEPS = 256
 
 
 @dataclass(frozen=True)
@@ -235,111 +231,200 @@ class FluidNetwork:
         total_steps = warmup_steps + num_intervals * steps_per_interval
 
         net = self._net
-        classes = self._classes
-        class_names = classes.names
-        path_ids = net.path_ids
-        path_links: Dict[str, Tuple[str, ...]] = {
-            pid: net.path(pid).links for pid in path_ids
-        }
-        path_class: Dict[str, str] = {
-            pid: classes.class_of(pid) for pid in path_ids
-        }
-        slots = build_slots(self._workloads, self._rng)
-        slots_by_path: Dict[str, List[FlowSlot]] = {
-            pid: [] for pid in path_ids
-        }
-        slots_index_by_path: Dict[str, List[int]] = {
-            pid: [] for pid in path_ids
-        }
-        for i, slot in enumerate(slots):
-            slots_by_path[slot.path_id].append(slot)
-            slots_index_by_path[slot.path_id].append(i)
-        links: Dict[str, _LinkState] = {
-            lid: _LinkState(spec=self._link_specs[lid])
-            for lid in net.link_ids
-        }
-
-        # Interval accumulators.
-        sent_acc = {pid: 0.0 for pid in path_ids}
-        lost_acc = {pid: 0.0 for pid in path_ids}
-        sent_out = {pid: np.zeros(num_intervals) for pid in path_ids}
-        lost_out = {pid: np.zeros(num_intervals) for pid in path_ids}
-        link_arr = {
-            lid: {cn: np.zeros(num_intervals) for cn in class_names}
-            for lid in net.link_ids
-        }
-        link_drop = {
-            lid: {cn: np.zeros(num_intervals) for cn in class_names}
-            for lid in net.link_ids
-        }
-        link_arr_acc = {
-            lid: {cn: 0.0 for cn in class_names} for lid in net.link_ids
-        }
-        link_drop_acc = {
-            lid: {cn: 0.0 for cn in class_names} for lid in net.link_ids
-        }
-        queue_occ = {lid: np.zeros(num_intervals) for lid in net.link_ids}
-        rtt_acc = {pid: 0.0 for pid in path_ids}
-        rtt_out = {pid: np.zeros(num_intervals) for pid in path_ids}
-
         rng = self._rng
-        path_srtt: Dict[str, float] = {}
+        path_ids: List[str] = list(net.path_ids)
+        link_ids: List[str] = list(net.link_ids)
+        class_names = self._classes.names
+        num_paths = len(path_ids)
+        num_links = len(link_ids)
+        num_classes = len(class_names)
+        lindex = {lid: i for i, lid in enumerate(link_ids)}
+        cindex = {cn: i for i, cn in enumerate(class_names)}
+
+        # --- static geometry -------------------------------------------
+        # Incidence (links × paths) for arrival scatter and its
+        # transpose for the RTT matvec; hop lists (link idx, path idx)
+        # in path order for the attenuated-arrival walk.
+        inc_lp = np.zeros((num_links, num_paths))
+        path_link_rows: List[np.ndarray] = []
+        for p, pid in enumerate(path_ids):
+            row = np.array(
+                [lindex[lid] for lid in net.path(pid).links], dtype=np.intp
+            )
+            path_link_rows.append(row)
+            inc_lp[row, p] = 1.0
+        inc_pl = np.ascontiguousarray(inc_lp.T)
+        max_hops = max(len(r) for r in path_link_rows)
+        hops: List[Tuple[np.ndarray, np.ndarray]] = []
+        for d in range(max_hops):
+            pp = np.array(
+                [p for p in range(num_paths) if len(path_link_rows[p]) > d],
+                dtype=np.intp,
+            )
+            ll = np.array(
+                [path_link_rows[p][d] for p in pp], dtype=np.intp
+            )
+            hops.append((ll, pp))
+        class_onehot = np.zeros((num_paths, num_classes))
+        for p, pid in enumerate(path_ids):
+            class_onehot[p, cindex[self._classes.class_of(pid)]] = 1.0
+        base_rtt = np.array(
+            [self._workloads[pid].rtt_seconds for pid in path_ids]
+        )
+
+        # --- link state -------------------------------------------------
+        la = build_link_arrays(link_ids, self._link_specs)
+        capacity = la.capacity_pps
+        inv_capacity = 1.0 / capacity
+        cap_dt = capacity * dt
+        buffers = la.buffer_packets
+        queue = np.zeros(num_links)
+        shaper_tq = np.zeros(num_links)
+        shaper_oq = np.zeros(num_links)
+        # Per-mechanism constants: (link, rate, bucket/buffer, target
+        # mask over paths as bool and float).
+        policers = []
+        for l, pol in la.policers:
+            rate = pol.rate_fraction * capacity[l]
+            tmask = np.array(
+                [
+                    self._classes.class_of(pid) == pol.target_class
+                    for pid in path_ids
+                ]
+            )
+            policers.append(
+                (l, rate * dt, pol.burst_seconds * rate, tmask,
+                 tmask.astype(float))
+            )
+        tokens = np.zeros(num_links)
+        for l, _rate_dt, bucket, _m, _mf in policers:
+            tokens[l] = bucket
+        shapers = []
+        shaper_links = np.array(
+            [l for l, _ in la.shapers], dtype=np.intp
+        )
+        for l, sh in la.shapers:
+            t_rate = sh.rate_fraction * capacity[l]
+            o_rate = (1.0 - sh.rate_fraction) * capacity[l]
+            tmask = np.array(
+                [
+                    self._classes.class_of(pid) == sh.target_class
+                    for pid in path_ids
+                ]
+            ).astype(float)
+            shapers.append(
+                (l, t_rate * dt, o_rate * dt,
+                 sh.buffer_seconds * t_rate, sh.buffer_seconds * o_rate,
+                 tmask)
+            )
+
+        # --- slot / TCP state ------------------------------------------
+        slots = SlotArrays(self._workloads, path_ids, rng)
+        num_slots = len(slots)
+        spath = slots.path_index
+        tcp = TcpArrayState(slots.is_cubic)
+        slots_of_path: List[np.ndarray] = [
+            np.nonzero(spath == p)[0] for p in range(num_paths)
+        ]
+
+        # --- accumulators / outputs ------------------------------------
+        slot_sent_acc = np.zeros(num_slots)
+        slot_lost_acc = np.zeros(num_slots)
+        rtt_acc = np.zeros(num_paths)
+        link_arr_acc = np.zeros((num_links, num_paths))
+        link_drop_acc = np.zeros((num_links, num_paths))
+        sent_out = np.zeros((num_paths, num_intervals))
+        lost_out = np.zeros((num_paths, num_intervals))
+        rtt_out = np.zeros((num_paths, num_intervals))
+        link_arr_out = np.zeros((num_links, num_classes, num_intervals))
+        link_drop_out = np.zeros((num_links, num_classes, num_intervals))
+        queue_occ_out = np.zeros((num_links, num_intervals))
+
+        # --- per-step scratch ------------------------------------------
+        arrivals = np.zeros((num_links, num_paths))
+        drop_frac = np.zeros((num_links, num_paths))
+        dirty_frac_rows: List[int] = []
+        path_smooth = np.zeros(num_paths)
+        path_burst = np.zeros(num_paths)
+        slot_burst = np.zeros(num_slots)
+        smooth_dirty = False
+        burst_dirty = False
+        srtt = None
         srtt_gain = min(dt / SRTT_TIME_CONSTANT, 1.0)
-        prev_drop_frac: Dict[str, Dict[str, float]] = {}
+        jitter_block = None
+        jitter_pos = _JITTER_BLOCK_STEPS
+        jitter_cv = self._send_jitter_cv
+        jitter_shape = 1.0 / (jitter_cv * jitter_cv) if jitter_cv > 0 else 0.0
+        has_shapers = bool(shapers)
+        # Earliest pending flow start among idle slots, so quiet steps
+        # skip the start scan with one float comparison.
+        next_start_min = float(slots.next_start.min())
+
         for step in range(total_steps):
             now = step * dt
             measuring = step >= warmup_steps
-            interval_idx = (
-                (step - warmup_steps) // steps_per_interval
-                if measuring
-                else -1
+
+            # 0. Per-flow send jitter, drawn in blocks (same gamma
+            #    distribution as the scalar engine's per-step draw),
+            #    pre-scaled by dt.
+            if jitter_pos == _JITTER_BLOCK_STEPS:
+                if jitter_cv > 0:
+                    jitter_block = rng.gamma(
+                        jitter_shape,
+                        1.0 / jitter_shape,
+                        size=(_JITTER_BLOCK_STEPS, num_slots),
+                    )
+                    jitter_block *= dt
+                else:
+                    jitter_block = np.full(
+                        (_JITTER_BLOCK_STEPS, num_slots), dt
+                    )
+                jitter_pos = 0
+            jit_dt = jitter_block[jitter_pos]
+            jitter_pos += 1
+
+            # 1. Effective RTTs: queueing delay along the path on top
+            #    of the base, smoothed per path (EWMA, time constant
+            #    SRTT_TC) — responding to the instantaneous queue
+            #    delay would synchronize every flow sharing a queue
+            #    into a common-mode oscillation that real stacks' RTT
+            #    filtering damps away.
+            if has_shapers:
+                occupancy = queue + shaper_tq + shaper_oq
+            else:
+                occupancy = queue
+            instant = base_rtt + inc_pl @ (occupancy * inv_capacity)
+            if srtt is None:
+                srtt = instant.copy()
+            else:
+                srtt += srtt_gain * (instant - srtt)
+            if measuring:
+                rtt_acc += instant
+
+            # 2. Start pending flows; compute per-slot offers.
+            if now >= next_start_min:
+                startable = (slots.remaining <= 0.0) & (
+                    slots.next_start <= now
+                )
+                idx = startable.nonzero()[0]
+                slots.start_flows(idx, rng)
+                tcp.reset(idx)
+                idle = slots.remaining <= 0.0
+                next_start_min = (
+                    float(slots.next_start[idle].min())
+                    if np.count_nonzero(idle)
+                    else np.inf
+                )
+            rtt_slot = srtt[spath] * slots.rtt_factor
+            np.maximum(rtt_slot, 1e-3, out=rtt_slot)
+            send = tcp.cwnd * jit_dt / rtt_slot
+            np.minimum(send, slots.remaining, out=send)
+            sending = send > 0.0
+            path_send = np.bincount(
+                spath, weights=send, minlength=num_paths
             )
 
-            # 1. Start pending flows; compute per-path RTT and offers.
-            #    TCP paces on a *smoothed* RTT estimate (EWMA, time
-            #    constant SRTT_TC): responding to the instantaneous
-            #    queue delay would synchronize every flow sharing a
-            #    queue into a common-mode oscillation that real
-            #    stacks' RTT filtering damps away.
-            link_delay = {
-                lid: state.occupancy_packets / state.spec.capacity_pps
-                for lid, state in links.items()
-            }
-            path_rtt: Dict[str, float] = {}
-            for pid in path_ids:
-                base = self._workloads[pid].rtt_seconds
-                instant = base + sum(
-                    link_delay[lid] for lid in path_links[pid]
-                )
-                prev = path_srtt.get(pid)
-                path_rtt[pid] = (
-                    instant
-                    if prev is None
-                    else prev + srtt_gain * (instant - prev)
-                )
-                path_srtt[pid] = path_rtt[pid]
-                if measuring:
-                    rtt_acc[pid] += instant
-
-            path_send = {pid: 0.0 for pid in path_ids}
-            slot_send: List[float] = []
-            if self._send_jitter_cv > 0:
-                shape = 1.0 / (self._send_jitter_cv**2)
-                jitter = rng.gamma(shape, 1.0 / shape, size=len(slots))
-            else:
-                jitter = np.ones(len(slots))
-            for slot, jit in zip(slots, jitter):
-                slot.maybe_start(now, rng)
-                if not slot.active:
-                    slot_send.append(0.0)
-                    continue
-                rtt = path_rtt[slot.path_id] * slot.rtt_factor
-                offer = slot.tcp.cwnd / max(rtt, 1e-3) * dt * jit
-                send = min(offer, slot.remaining_packets)
-                slot_send.append(send)
-                path_send[slot.path_id] += send
-
-            # 2. Per-link, per-path arrivals, attenuated by upstream
+            # 3. Per-link, per-path arrivals, attenuated by upstream
             #    drops. A policer shedding 30–80 % of a path's volume
             #    must not present phantom traffic to downstream
             #    queues — that would congest them in lockstep with
@@ -347,149 +432,224 @@ class FluidNetwork:
             #    previous step's per-link drop fractions stand in for
             #    this step's (one-step lag, smooth in the fluid
             #    limit).
-            arrivals: Dict[str, Dict[str, float]] = {
-                lid: {} for lid in net.link_ids
-            }
-            for pid in path_ids:
-                volume = path_send[pid]
-                if volume <= 0:
-                    continue
-                fracs = prev_drop_frac.get(pid, {})
-                for lid in path_links[pid]:
-                    arrivals[lid][pid] = volume
-                    volume *= 1.0 - fracs.get(lid, 0.0)
-                    if volume <= 0:
-                        break
+            if dirty_frac_rows:
+                volume = path_send.copy()
+                for link_row, path_row in hops:
+                    v = volume[path_row]
+                    arrivals[link_row, path_row] = v
+                    volume[path_row] = v * (
+                        1.0 - drop_frac[link_row, path_row]
+                    )
+                drop_frac[dirty_frac_rows] = 0.0
+                dirty_frac_rows = []
+            else:
+                np.multiply(inc_lp, path_send, out=arrivals)
+            total_in = arrivals.sum(axis=1)
 
-            # 3. Serve links; collect per-path smooth/burst drops.
-            #    "Smooth" drops (policer shedding) hit every flow of a
-            #    path proportionally; "burst" drops (droptail
-            #    overflow) are concentrated on a single flow — this
-            #    keeps flow sawtooths independent, which sets the
-            #    realistic loss-event frequency.
-            path_smooth_frac: Dict[str, float] = {
-                pid: 0.0 for pid in path_ids
-            }
-            path_burst: Dict[str, float] = {pid: 0.0 for pid in path_ids}
-            new_drop_frac: Dict[str, Dict[str, float]] = {}
-            for lid, state in links.items():
-                smooth, burst = self._serve_link(
-                    state, arrivals[lid], path_class, dt, rng
-                )
-                for pid, inflow in arrivals[lid].items():
-                    s_drop = smooth.get(pid, 0.0)
-                    b_drop = burst.get(pid, 0.0)
-                    if s_drop > 0:
-                        frac = min(s_drop / inflow, 1.0)
-                        path_smooth_frac[pid] = 1.0 - (
-                            1.0 - path_smooth_frac[pid]
-                        ) * (1.0 - frac)
-                    if b_drop > 0:
-                        path_burst[pid] += b_drop
-                    total_frac = min((s_drop + b_drop) / inflow, 1.0)
-                    if total_frac > 0:
-                        new_drop_frac.setdefault(pid, {})[lid] = total_frac
+            # 4. Serve links. "Smooth" drops (policer shedding) hit
+            #    every flow of a path proportionally; "burst" drops
+            #    (droptail overflow) are concentrated on a single
+            #    flow — keeping flow sawtooths independent, which
+            #    sets the realistic loss-event frequency.
+            if smooth_dirty:
+                path_smooth[:] = 0.0
+                smooth_dirty = False
+            if burst_dirty:
+                path_burst[:] = 0.0
+                slot_burst[:] = 0.0
+                burst_dirty = False
+            drop_rows: Dict[int, np.ndarray] = {}
+            queue_in = total_in  # adjusted in place below
+            for l, rate_dt, bucket, tmask, tmask_f in policers:
+                refilled = min(bucket, tokens[l] + rate_dt)
+                row = arrivals[l]
+                demand = float(row @ tmask_f)
+                allowed = demand if demand <= refilled else refilled
+                tokens[l] = refilled - allowed
+                excess = demand - allowed
+                if excess > 0.0:
+                    # Continuous shedding: proportional over policed
+                    # paths, i.e. the same fraction for each.
+                    f = excess / demand
+                    shed = row * tmask_f
+                    shed *= f
+                    drop_rows[l] = shed
+                    queue_in[l] -= excess
+                    present = tmask & (row > 0.0)
+                    path_smooth[present] = 1.0 - (
+                        1.0 - path_smooth[present]
+                    ) * (1.0 - f)
+                    smooth_dirty = True
+            for l, t_rate_dt, o_rate_dt, t_buf, o_buf, tmask_f in shapers:
+                row = arrivals[l]
+                t_in = row * tmask_f
+                o_in = row - t_in
+                for q_arr, inflow, served, buf in (
+                    (shaper_tq, t_in, t_rate_dt, t_buf),
+                    (shaper_oq, o_in, o_rate_dt, o_buf),
+                ):
+                    total = float(inflow.sum())
+                    q = q_arr[l] + total
+                    q -= min(q, served)
+                    if q > buf:
+                        overflow = q - buf
+                        q = buf
+                        f = min(overflow / total, 1.0)
+                        burst_row = inflow * f
+                        if l in drop_rows:
+                            drop_rows[l] = drop_rows[l] + burst_row
+                        else:
+                            drop_rows[l] = burst_row
+                        path_burst += burst_row
+                        burst_dirty = True
+                    q_arr[l] = q
+            if len(shaper_links):
+                queue_in[shaper_links] = 0.0
+            # Droptail FIFO on the common queues: serve at capacity,
+            # spill the overflow pro rata over this step's arrivals
+            # (sustained congestion: a persistently full queue drops
+            # everyone's packets with roughly equal per-packet
+            # probability).
+            queue += queue_in
+            queue -= np.minimum(queue, cap_dt)
+            overfull = queue > buffers
+            if np.count_nonzero(overfull):
+                for l in overfull.nonzero()[0]:
+                    overflow = queue[l] - buffers[l]
+                    queue[l] = buffers[l]
+                    total = queue_in[l]
+                    if total <= 0.0:
+                        continue
+                    f = min(overflow / total, 1.0)
+                    if l in drop_rows:
+                        remaining_row = arrivals[l] - drop_rows[l]
+                        burst_row = remaining_row * f
+                        drop_rows[l] = drop_rows[l] + burst_row
+                    else:
+                        burst_row = arrivals[l] * f
+                        drop_rows[l] = burst_row
+                    path_burst += burst_row
+                    burst_dirty = True
+            if drop_rows:
+                for l, drow in drop_rows.items():
+                    # Zero arrivals imply zero drops, so the guarded
+                    # denominator never manufactures a fraction.
+                    drop_frac[l] = np.minimum(
+                        drow / np.maximum(arrivals[l], 1e-300), 1.0
+                    )
+                    dirty_frac_rows.append(l)
                     if measuring:
-                        cname = path_class[pid]
-                        link_arr_acc[lid][cname] += inflow
-                        link_drop_acc[lid][cname] += s_drop + b_drop
-            prev_drop_frac = new_drop_frac
+                        link_drop_acc[l] += drow
 
-            # 4. Allocate each path's burst volume to one of its
+            # 5. Allocate each path's burst volume to one of its
             #    active flows (weighted by what each sent), spilling
             #    to the next only when the burst exceeds the flow's
             #    traffic.
-            slot_burst = [0.0] * len(slots)
-            for pid in path_ids:
-                burst = min(path_burst[pid], path_send[pid])
-                if burst <= 0:
-                    continue
-                members = [
-                    (i, slot_send[i])
-                    for i in slots_index_by_path[pid]
-                    if slot_send[i] > 0
-                ]
-                if not members:
-                    continue
-                weights = np.array([v for _, v in members], dtype=float)
-                order = rng.choice(
-                    len(members),
-                    size=len(members),
-                    replace=False,
-                    p=weights / weights.sum(),
-                )
-                remaining = burst
-                for j in order:
-                    if remaining <= 0:
-                        break
-                    i, volume = members[j]
-                    take = min(remaining, volume)
-                    slot_burst[i] += take
-                    remaining -= take
-
-            # 5. TCP reactions, flow completion, path accounting.
-            for idx, (slot, send) in enumerate(zip(slots, slot_send)):
-                if send <= 0:
-                    continue
-                pid = slot.path_id
-                lost = min(send * path_smooth_frac[pid] + slot_burst[idx], send)
-                delivered = send - lost
-                rtt = path_rtt[pid] * slot.rtt_factor
-                if lost > 0:
-                    slot.tcp.note_loss(now, lost, send, rtt)
-                elif slot.tcp.pending_due is not None:
-                    slot.tcp.pending_sent += send
-                cut = False
-                if slot.tcp.pending_ready(now):
-                    cut = slot.tcp.apply_pending(now, rtt)
-                if not cut:
-                    slot.tcp.on_delivered(now, delivered, rtt)
-                slot.remaining_packets -= delivered
-                if slot.remaining_packets <= 1e-9:
-                    slot.complete(now, rng)
-                if measuring:
-                    sent_acc[pid] += send
-                    lost_acc[pid] += lost
-
-            # 6. Close the interval.
-            if (
-                measuring
-                and (step - warmup_steps + 1) % steps_per_interval == 0
-            ):
-                for pid in path_ids:
-                    sent_out[pid][interval_idx] = sent_acc[pid]
-                    lost_out[pid][interval_idx] = lost_acc[pid]
-                    rtt_out[pid][interval_idx] = (
-                        rtt_acc[pid] / steps_per_interval
+            if burst_dirty:
+                for p in range(num_paths):
+                    burst = min(path_burst[p], path_send[p])
+                    if burst <= 0.0:
+                        continue
+                    members = slots_of_path[p]
+                    weights = send[members]
+                    present = weights > 0.0
+                    if not present.any():
+                        continue
+                    members = members[present]
+                    weights = weights[present]
+                    # Weighted order without replacement via Gumbel
+                    # keys (Efraimidis–Spirakis): same distribution
+                    # as repeated weighted draws, one RNG call.
+                    u = rng.random(len(members))
+                    order = (np.log(-np.log(u)) - np.log(weights)).argsort()
+                    ordered = weights[order]
+                    ahead = ordered.cumsum() - ordered
+                    slot_burst[members[order]] = np.minimum(
+                        ordered, np.maximum(burst - ahead, 0.0)
                     )
-                    sent_acc[pid] = 0.0
-                    lost_acc[pid] = 0.0
-                    rtt_acc[pid] = 0.0
-                for lid in net.link_ids:
-                    for cn in class_names:
-                        link_arr[lid][cn][interval_idx] = link_arr_acc[lid][cn]
-                        link_drop[lid][cn][interval_idx] = link_drop_acc[lid][
-                            cn
-                        ]
-                        link_arr_acc[lid][cn] = 0.0
-                        link_drop_acc[lid][cn] = 0.0
-                    queue_occ[lid][interval_idx] = links[lid].occupancy_packets
 
+            # 6. TCP reactions, flow completion, path accounting.
+            if smooth_dirty or burst_dirty:
+                lost = send * path_smooth[spath]
+                if burst_dirty:
+                    lost += slot_burst
+                np.minimum(lost, send, out=lost)
+                delivered = send - lost
+            else:
+                lost = None
+                delivered = send
+            tcp.advance(now, send, sending, lost, delivered, rtt_slot)
+            slots.remaining -= delivered
+            completed = sending & (slots.remaining <= 1e-9)
+            if np.count_nonzero(completed):
+                idx = completed.nonzero()[0]
+                slots.complete_flows(idx, now, rng)
+                next_start_min = min(
+                    next_start_min, float(slots.next_start[idx].min())
+                )
+            if measuring:
+                slot_sent_acc += send
+                if lost is not None:
+                    slot_lost_acc += lost
+                link_arr_acc += arrivals
+
+                # 7. Close the interval.
+                if (step - warmup_steps + 1) % steps_per_interval == 0:
+                    k = (step - warmup_steps) // steps_per_interval
+                    sent_out[:, k] = np.bincount(
+                        spath, weights=slot_sent_acc, minlength=num_paths
+                    )
+                    lost_out[:, k] = np.bincount(
+                        spath, weights=slot_lost_acc, minlength=num_paths
+                    )
+                    rtt_out[:, k] = rtt_acc / steps_per_interval
+                    link_arr_out[:, :, k] = link_arr_acc @ class_onehot
+                    link_drop_out[:, :, k] = link_drop_acc @ class_onehot
+                    queue_occ_out[:, k] = queue + shaper_tq + shaper_oq
+                    slot_sent_acc[:] = 0.0
+                    slot_lost_acc[:] = 0.0
+                    rtt_acc[:] = 0.0
+                    link_arr_acc[:] = 0.0
+                    link_drop_acc[:] = 0.0
+
+        # --- package results -------------------------------------------
         records = []
-        flows_completed: Dict[str, int] = {}
-        for pid in path_ids:
-            flows_completed[pid] = sum(
-                s.flows_completed for s in slots_by_path[pid]
-            )
+        flows_by_path = np.bincount(
+            spath, weights=slots.flows_completed, minlength=num_paths
+        )
+        flows_completed = {
+            pid: int(flows_by_path[p]) for p, pid in enumerate(path_ids)
+        }
+        for p, pid in enumerate(path_ids):
             if not self._workloads[pid].measured:
                 continue
-            sent_i = np.rint(sent_out[pid]).astype(np.int64)
+            sent_i = np.rint(sent_out[p]).astype(np.int64)
             lost_i = np.minimum(
-                np.rint(lost_out[pid]).astype(np.int64), sent_i
+                np.rint(lost_out[p]).astype(np.int64), sent_i
             )
             records.append(PathRecord(pid, sent_i, lost_i))
         if not records:
             raise EmulationError("no measured paths in the workload")
+        link_arr = {
+            lid: {
+                cn: link_arr_out[l, c]
+                for c, cn in enumerate(class_names)
+            }
+            for l, lid in enumerate(link_ids)
+        }
+        link_drop = {
+            lid: {
+                cn: link_drop_out[l, c]
+                for c, cn in enumerate(class_names)
+            }
+            for l, lid in enumerate(link_ids)
+        }
+        queue_occ = {
+            lid: queue_occ_out[l] for l, lid in enumerate(link_ids)
+        }
+        rtt_by_path = {
+            pid: rtt_out[p] for p, pid in enumerate(path_ids)
+        }
         return FluidResult(
             measurements=MeasurementData(records, interval_seconds),
             link_class_arrivals=link_arr,
@@ -497,176 +657,9 @@ class FluidNetwork:
             queue_occupancy=queue_occ,
             interval_seconds=interval_seconds,
             flows_completed=flows_completed,
-            path_rtt_seconds=rtt_out,
+            path_rtt_seconds=rtt_by_path,
         )
 
-    # ------------------------------------------------------------------
-    # Link service
-    # ------------------------------------------------------------------
 
-    def _serve_link(
-        self,
-        state: _LinkState,
-        path_arrivals: Dict[str, float],
-        path_class: Mapping[str, str],
-        dt: float,
-        rng: np.random.Generator,
-    ) -> Tuple[Dict[str, float], Dict[str, float]]:
-        """Advance one link by one step.
-
-        Returns:
-            ``(smooth, burst)`` per-path drop volumes: policer
-            shedding is smooth (hits all flows of a path), droptail
-            overflow is burst (hits one flow).
-        """
-        spec = state.spec
-        capacity = spec.capacity_pps
-        smooth: Dict[str, float] = {}
-        burst: Dict[str, float] = {}
-        if not path_arrivals:
-            # Still drain queues.
-            state.queue -= min(state.queue, capacity * dt)
-            if spec.shaper is not None:
-                sh = spec.shaper
-                state.shaper_target_queue -= min(
-                    state.shaper_target_queue,
-                    sh.rate_fraction * capacity * dt,
-                )
-                state.shaper_other_queue -= min(
-                    state.shaper_other_queue,
-                    (1.0 - sh.rate_fraction) * capacity * dt,
-                )
-            if spec.policer is not None:
-                pol = spec.policer
-                rate = pol.rate_fraction * capacity
-                state.tokens = min(
-                    pol.burst_seconds * rate, state.tokens + rate * dt
-                )
-            return smooth, burst
-
-        if spec.policer is not None:
-            pol = spec.policer
-            rate = pol.rate_fraction * capacity
-            bucket = pol.burst_seconds * rate
-            state.tokens = min(bucket, state.tokens + rate * dt)
-            targeted = {
-                pid: vol
-                for pid, vol in path_arrivals.items()
-                if path_class[pid] == pol.target_class
-            }
-            demand = sum(targeted.values())
-            allowed = min(demand, state.tokens)
-            state.tokens -= allowed
-            excess = demand - allowed
-            remaining = dict(path_arrivals)
-            if excess > 0 and demand > 0:
-                # Continuous shedding: proportional over policed paths.
-                for pid, vol in targeted.items():
-                    dropped = excess * (vol / demand)
-                    smooth[pid] = smooth.get(pid, 0.0) + dropped
-                    remaining[pid] = vol - dropped
-            self._common_queue(state, remaining, burst, capacity, dt, rng)
-        elif spec.shaper is not None:
-            sh = spec.shaper
-            target_rate = sh.rate_fraction * capacity
-            other_rate = (1.0 - sh.rate_fraction) * capacity
-            targeted = {
-                pid: vol
-                for pid, vol in path_arrivals.items()
-                if path_class[pid] == sh.target_class
-            }
-            others = {
-                pid: vol
-                for pid, vol in path_arrivals.items()
-                if path_class[pid] != sh.target_class
-            }
-            state.shaper_target_queue = self._shaper_queue(
-                state,
-                state.shaper_target_queue,
-                targeted,
-                burst,
-                target_rate,
-                sh.buffer_seconds * target_rate,
-                dt,
-                rng,
-            )
-            state.shaper_other_queue = self._shaper_queue(
-                state,
-                state.shaper_other_queue,
-                others,
-                burst,
-                other_rate,
-                sh.buffer_seconds * other_rate,
-                dt,
-                rng,
-            )
-        else:
-            self._common_queue(
-                state, dict(path_arrivals), burst, capacity, dt, rng
-            )
-        return smooth, burst
-
-    def _common_queue(
-        self,
-        state: _LinkState,
-        arriving: Dict[str, float],
-        drops: Dict[str, float],
-        capacity: float,
-        dt: float,
-        rng: np.random.Generator,
-    ) -> None:
-        """Droptail FIFO: serve at capacity, spill the overflow.
-
-        A *freshly* full queue sheds a burst (one flow's packet run);
-        a queue that was already full keeps shedding every
-        contributor's packets proportionally — the sustained-
-        congestion regime in which droptail behaves like per-packet
-        random loss.
-        """
-        buf = state.spec.buffer_packets
-        total_in = sum(arriving.values())
-        state.queue += total_in
-        state.queue -= min(state.queue, capacity * dt)
-        if state.queue > buf:
-            overflow = state.queue - buf
-            state.queue = buf
-            _allocate_proportional(arriving, overflow, drops)
-
-    @staticmethod
-    def _shaper_queue(
-        state: "_LinkState",
-        queue: float,
-        arriving: Dict[str, float],
-        drops: Dict[str, float],
-        rate: float,
-        buf: float,
-        dt: float,
-        rng: np.random.Generator,
-    ) -> float:
-        """One shaper queue: dedicated service rate, droptail overflow."""
-        queue += sum(arriving.values())
-        queue -= min(queue, rate * dt)
-        if queue > buf:
-            overflow = queue - buf
-            queue = buf
-            _allocate_proportional(arriving, overflow, drops)
-        return queue
-
-
-def _allocate_proportional(
-    arriving: Dict[str, float],
-    overflow: float,
-    drops: Dict[str, float],
-) -> None:
-    """Spread an overflow over all contributors pro-rata (sustained
-    congestion: a persistently full queue drops everyone's packets
-    with roughly equal per-packet probability)."""
-    total = sum(arriving.values())
-    if overflow <= 0 or total <= 0:
-        return
-    frac = min(overflow / total, 1.0)
-    for pid, vol in arriving.items():
-        if vol > 0:
-            drops[pid] = drops.get(pid, 0.0) + vol * frac
-
-
+#: Public alias: the vectorized engine is *the* fluid engine.
+FluidEngine = FluidNetwork

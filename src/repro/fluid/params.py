@@ -9,7 +9,9 @@ bytes = 12000 bits, matching common Ethernet framing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 
@@ -133,6 +135,55 @@ class FluidLinkSpec:
     @property
     def is_differentiating(self) -> bool:
         return self.policer is not None or self.shaper is not None
+
+
+@dataclass(frozen=True)
+class LinkArrays:
+    """Link specs flattened into arrays for the vectorized engine.
+
+    The physical per-link quantities become one numpy array each
+    (indexed by the engine's link order); the rare differentiation
+    mechanisms stay as short ``(link_index, spec)`` lists so the
+    engine's hot loop pays for policers/shapers only on links that
+    actually have one.
+
+    Attributes:
+        ids: Link ids in array order.
+        capacity_pps: Service rate per link (packets/second).
+        buffer_packets: Droptail queue depth per link.
+        policers: ``(link_index, PolicerSpec)`` for policing links.
+        shapers: ``(link_index, ShaperSpec)`` for shaping links.
+    """
+
+    ids: Tuple[str, ...]
+    capacity_pps: np.ndarray
+    buffer_packets: np.ndarray
+    policers: Tuple[Tuple[int, PolicerSpec], ...]
+    shapers: Tuple[Tuple[int, ShaperSpec], ...]
+
+
+def build_link_arrays(
+    link_ids: Sequence[str], specs: Mapping[str, "FluidLinkSpec"]
+) -> LinkArrays:
+    """Flatten per-link specs into a :class:`LinkArrays`."""
+    ids = tuple(link_ids)
+    capacity = np.array([specs[lid].capacity_pps for lid in ids])
+    buffers = np.array([specs[lid].buffer_packets for lid in ids])
+    policers: List[Tuple[int, PolicerSpec]] = []
+    shapers: List[Tuple[int, ShaperSpec]] = []
+    for i, lid in enumerate(ids):
+        spec = specs[lid]
+        if spec.policer is not None:
+            policers.append((i, spec.policer))
+        if spec.shaper is not None:
+            shapers.append((i, spec.shaper))
+    return LinkArrays(
+        ids=ids,
+        capacity_pps=capacity,
+        buffer_packets=buffers,
+        policers=tuple(policers),
+        shapers=tuple(shapers),
+    )
 
 
 @dataclass(frozen=True)

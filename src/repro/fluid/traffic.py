@@ -86,6 +86,88 @@ class FlowSlot:
         self.next_start = now + sample_gap_seconds(self.spec, rng)
 
 
+class SlotArrays:
+    """Array-of-slots counterpart of a ``List[FlowSlot]``.
+
+    One numpy array per slot attribute, in the same slot order that
+    :func:`build_slots` produces (paths sorted by id, a path's slots
+    in workload order), so the vectorized engine touches every slot
+    with whole-array operations. Flow starts and completions are the
+    only per-event work, applied to index subsets.
+
+    Attributes:
+        path_index: Per-slot index into the engine's path order.
+        mean_packets: Per-slot mean transfer size (packets).
+        alpha: Per-slot Pareto tail index (0 = fixed size).
+        gap_mean: Per-slot mean idle gap (seconds).
+        is_cubic: Per-slot congestion-control selector.
+        rtt_factor: Per-slot multiplicative RTT perturbation.
+        remaining: Packets left in the current flow (0 = idle).
+        next_start: Time the next flow begins.
+        flows_completed: Completed-transfer counters.
+    """
+
+    def __init__(
+        self,
+        workloads: "dict[str, PathWorkload]",
+        path_order: List[str],
+        rng: np.random.Generator,
+        stagger_seconds: float = 0.5,
+    ) -> None:
+        # Built *from* build_slots output, so slot order and the
+        # initial-condition RNG draws are the scalar reference
+        # engine's by construction, not by parallel implementation.
+        slots = build_slots(workloads, rng, stagger_seconds)
+        pindex = {pid: i for i, pid in enumerate(path_order)}
+        self.path_index = np.array(
+            [pindex[s.path_id] for s in slots], dtype=np.intp
+        )
+        self.mean_packets = np.array(
+            [mb_to_packets(s.spec.mean_size_mb) for s in slots]
+        )
+        self.alpha = np.array([s.spec.pareto_shape for s in slots])
+        self.gap_mean = np.array([s.spec.mean_gap_seconds for s in slots])
+        self.is_cubic = np.array(
+            [s.tcp.algorithm == "cubic" for s in slots], dtype=bool
+        )
+        self.rtt_factor = np.array([s.rtt_factor for s in slots])
+        self.next_start = np.array([s.next_start for s in slots])
+        n = len(slots)
+        self.remaining = np.zeros(n)
+        self.flows_completed = np.zeros(n, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.path_index)
+
+    def start_flows(self, idx: np.ndarray, rng: np.random.Generator) -> None:
+        """Begin the next flow on each slot in ``idx``.
+
+        Sizes follow :func:`sample_flow_size_packets`: Pareto with the
+        slot's tail index (one draw per starting Pareto slot, in slot
+        order), or the fixed mean for ``alpha == 0``.
+        """
+        sizes = self.mean_packets[idx].copy()
+        pareto = self.alpha[idx] > 0
+        if pareto.any():
+            a = self.alpha[idx][pareto]
+            x_m = sizes[pareto] * (a - 1.0) / a
+            sizes[pareto] = x_m * (1.0 + rng.pareto(a))
+        np.maximum(sizes, 1.0, out=sizes)
+        self.remaining[idx] = sizes
+
+    def complete_flows(
+        self, idx: np.ndarray, now: float, rng: np.random.Generator
+    ) -> None:
+        """Finish the current flow on each slot in ``idx``."""
+        self.flows_completed[idx] += 1
+        self.remaining[idx] = 0.0
+        gaps = np.zeros(len(idx))
+        drawn = self.gap_mean[idx] > 0
+        if drawn.any():
+            gaps[drawn] = rng.exponential(self.gap_mean[idx][drawn])
+        self.next_start[idx] = now + gaps
+
+
 def build_slots(
     workloads: "dict[str, PathWorkload]",
     rng: np.random.Generator,

@@ -1,0 +1,191 @@
+"""Tests for the parallel sweep runner: determinism, caching, seeding.
+
+The load-bearing properties:
+
+* same seed + config ⇒ identical results for ``workers=1`` and
+  ``workers=4`` (parallelism must never leak into outcomes);
+* the result cache returns hits instead of re-running;
+* per-point seed derivation is stable and key-sensitive.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import EmulationSettings
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepRunner,
+    derive_seed,
+)
+from repro.experiments.topology_a import run_full_set, sweep_points
+
+QUICK = EmulationSettings(duration_seconds=30.0, warmup_seconds=5.0)
+
+
+# Module-level so worker pools can pickle it.
+def _emulate_point(value, seed):
+    """A tiny real emulation: seed-sensitive, value-sensitive."""
+    from repro.fluid.params import FlowSlotSpec, PathWorkload
+    from repro.fluid.engine import FluidNetwork
+    from repro.topology.dumbbell import build_dumbbell
+
+    topo = build_dumbbell()
+    wl = {
+        pid: PathWorkload(
+            slots=(FlowSlotSpec(mean_size_mb=value, mean_gap_seconds=2.0),)
+            * 4,
+            rtt_seconds=0.05,
+        )
+        for pid in topo.network.path_ids
+    }
+    sim = FluidNetwork(
+        topo.network, topo.classes, topo.link_specs, wl, seed=seed
+    )
+    res = sim.run(duration_seconds=5.0)
+    return {
+        pid: res.measurements.record(pid).sent.tolist()
+        for pid in res.measurements.path_ids
+    }
+
+
+def _points(values=(1.0, 2.0, 5.0)):
+    return [
+        SweepPoint(
+            key=f"point/{v}", func=_emulate_point, kwargs={"value": v}
+        )
+        for v in values
+    ]
+
+
+class TestSeedDerivation:
+    def test_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_key_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_base_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_range(self):
+        for base in (0, 1, 2**40):
+            for key in ("x", "topoA/set1/10.0"):
+                assert 0 <= derive_seed(base, key) < 2**31
+
+
+class TestValidation:
+    def test_workers_positive(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(workers=0)
+
+    def test_duplicate_keys_rejected(self):
+        runner = SweepRunner()
+        pts = _points((1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            runner.run(pts)
+
+
+class TestDeterminism:
+    def test_workers_1_vs_4_identical(self):
+        """The headline property: worker count never changes results."""
+        seq = SweepRunner(base_seed=5, workers=1).run(_points())
+        par = SweepRunner(base_seed=5, workers=4).run(_points())
+        assert seq.keys() == par.keys()
+        for key in seq:
+            assert seq[key] == par[key], key
+
+    def test_same_seed_reproduces(self):
+        a = SweepRunner(base_seed=5, workers=2).run(_points())
+        b = SweepRunner(base_seed=5, workers=2).run(_points())
+        assert a == b
+
+    def test_different_base_seed_differs(self):
+        a = SweepRunner(base_seed=5, workers=1).run(_points((5.0,)))
+        b = SweepRunner(base_seed=6, workers=1).run(_points((5.0,)))
+        assert a != b
+
+    def test_explicit_seed_overrides_derivation(self):
+        pts = [
+            SweepPoint(
+                key="pinned",
+                func=_emulate_point,
+                kwargs={"value": 5.0},
+                seed=123,
+            )
+        ]
+        a = SweepRunner(base_seed=1).run(pts)
+        b = SweepRunner(base_seed=999).run(pts)
+        assert a == b  # base seed is irrelevant for pinned points
+
+    def test_result_order_follows_point_order(self):
+        results = SweepRunner(base_seed=5, workers=4).run(_points())
+        assert list(results) == [p.key for p in _points()]
+
+
+class TestCache:
+    def test_hits_instead_of_rerun(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = SweepRunner(base_seed=5, cache_dir=cache)
+        a = first.run(_points())
+        assert first.stats.cache_hits == 0
+        assert first.stats.executed == 3
+        second = SweepRunner(base_seed=5, cache_dir=cache)
+        b = second.run(_points())
+        assert second.stats.cache_hits == 3
+        assert second.stats.executed == 0
+        assert a == b
+
+    def test_seed_changes_cache_key(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        SweepRunner(base_seed=5, cache_dir=cache).run(_points((1.0,)))
+        other = SweepRunner(base_seed=6, cache_dir=cache)
+        other.run(_points((1.0,)))
+        assert other.stats.cache_hits == 0
+        assert other.stats.executed == 1
+
+    def test_salt_changes_cache_key(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        SweepRunner(base_seed=5, cache_dir=cache).run(_points((1.0,)))
+        salted = SweepRunner(base_seed=5, cache_dir=cache, cache_salt="x")
+        salted.run(_points((1.0,)))
+        assert salted.stats.cache_hits == 0
+
+    def test_corrupt_entry_reruns(self, tmp_path):
+        cache = tmp_path / "cache"
+        runner = SweepRunner(base_seed=5, cache_dir=str(cache))
+        runner.run(_points((1.0,)))
+        for entry in cache.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        again = SweepRunner(base_seed=5, cache_dir=str(cache))
+        again.run(_points((1.0,)))
+        assert again.stats.executed == 1
+
+
+class TestTopologyAWiring:
+    def test_run_full_set_parallel_matches_sequential(self, tmp_path):
+        """End-to-end: the Table 2 sweep through the real pipeline is
+        worker-count-invariant, and caching replays it."""
+        cache = str(tmp_path / "cache")
+        seq = run_full_set(3, QUICK, workers=1)
+        par = run_full_set(3, QUICK, workers=2, cache_dir=cache)
+        assert [v for v, _ in seq] == [v for v, _ in par]
+        for (_, a), (_, b) in zip(seq, par):
+            assert a.verdict_non_neutral == b.verdict_non_neutral
+            assert a.path_congestion == b.path_congestion
+            for pid in a.emulation.measurements.path_ids:
+                np.testing.assert_array_equal(
+                    a.emulation.measurements.record(pid).sent,
+                    b.emulation.measurements.record(pid).sent,
+                )
+        cached = run_full_set(3, QUICK, workers=2, cache_dir=cache)
+        for (_, a), (_, c) in zip(par, cached):
+            assert a.path_congestion == c.path_congestion
+
+    def test_sweep_points_cover_sets(self):
+        pts = sweep_points([1, 2], QUICK)
+        assert len(pts) == 8  # 4 values + 4 values
+        assert len({p.key for p in pts}) == 8
+        assert all(p.seed is None for p in pts)
+        pinned = sweep_points([1], QUICK, derive_seeds=False)
+        assert all(p.seed == QUICK.seed for p in pinned)

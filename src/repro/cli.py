@@ -8,6 +8,9 @@ Commands:
 * ``sweep [--sets 1,2,…] --workers N [--cache DIR]`` — the Table 2
   sweep fanned over a process pool with result caching.
 
+``fig8``, ``topo-b``, and ``sweep`` all accept ``--substrate
+{fluid,packet}`` to pick the emulation backend (default: fluid).
+
 Every command prints the same tables the benchmark harness produces.
 """
 
@@ -87,7 +90,9 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
             )
             return 2
         print(f"\n=== set {args.set}, value {value} ===")
-        outcome = run_topology_a(args.set, value, settings)
+        outcome = run_topology_a(
+            args.set, value, settings, substrate=args.substrate
+        )
         print(render_path_congestion(outcome))
         print(render_verdict(outcome))
     return 0
@@ -108,7 +113,7 @@ def _cmd_topo_b(args: argparse.Namespace) -> int:
     if args.duration:
         settings = settings.quick(args.duration)
     print("Running topology B (this takes a minute or two)...")
-    report = run_topology_b(settings)
+    report = run_topology_b(settings, substrate=args.substrate)
     print("\nFigure 10(a): ground truth")
     print(render_ground_truth(report))
     print("\nFigure 10(b): inferred sequences")
@@ -146,7 +151,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     settings = EmulationSettings(
         duration_seconds=args.duration, seed=args.seed
     )
-    points = sweep_points(set_numbers, settings)
+    points = sweep_points(set_numbers, settings, substrate=args.substrate)
     runner = SweepRunner.for_settings(
         settings, workers=args.workers, cache_dir=args.cache
     )
@@ -156,6 +161,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results = runner.run(points)
     print(render_sweep_summary(results, runner.stats))
     return 0
+
+
+def _add_substrate_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.substrate.registry import available_substrates
+
+    parser.add_argument(
+        "--substrate",
+        choices=available_substrates(),
+        default="fluid",
+        help="emulation backend (default: fluid)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig8.add_argument("--duration", type=float, default=120.0)
     fig8.add_argument("--seed", type=int, default=1)
+    _add_substrate_arg(fig8)
 
     topob = sub.add_parser("topo-b", help="the topology-B experiment")
     topob.add_argument("--seed", type=int, default=3)
@@ -186,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the 300 s default",
     )
+    _add_substrate_arg(topob)
 
     sweep = sub.add_parser(
         "sweep", help="parallel Table 2 sweep with result caching"
@@ -208,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--duration", type=float, default=120.0)
     sweep.add_argument("--seed", type=int, default=1)
+    _add_substrate_arg(sweep)
     return parser
 
 

@@ -1,5 +1,27 @@
-"""Packet-level discrete-event emulator (validation substrate)."""
+"""Packet-level emulator: the per-packet evaluation substrate.
 
-from repro.emulator.core import PacketLinkSpec, PacketNetwork
+:class:`PacketNetwork` (:mod:`repro.emulator.core`) is the batched,
+vectorized engine; :class:`EventPacketNetwork`
+(:mod:`repro.emulator.event_reference`) is the frozen seed per-event
+loop kept as the behavioural and performance baseline.
+"""
 
-__all__ = ["PacketLinkSpec", "PacketNetwork"]
+from repro.emulator.core import (
+    DEFAULT_MAX_PACKETS,
+    PACKET_ENGINE_VERSION,
+    PacketNetwork,
+    PacketResult,
+    greedy_admission,
+)
+from repro.emulator.event_reference import EventPacketNetwork
+from repro.emulator.specs import PacketLinkSpec
+
+__all__ = [
+    "DEFAULT_MAX_PACKETS",
+    "EventPacketNetwork",
+    "PACKET_ENGINE_VERSION",
+    "PacketLinkSpec",
+    "PacketNetwork",
+    "PacketResult",
+    "greedy_admission",
+]

@@ -1,0 +1,84 @@
+"""Per-link configuration of the packet substrate.
+
+:class:`PacketLinkSpec` mirrors :class:`repro.fluid.params.
+FluidLinkSpec` at packet granularity: rates in packets/second, queue
+depths in packets, propagation in seconds. Differentiation mechanisms
+use the *shared* mechanism vocabulary defined in
+:mod:`repro.fluid.params` (:class:`ShaperSpec`, :class:`AqmSpec`,
+:class:`WeightedShaperSpec` — all expressed as fractions of link
+capacity, so one spec compiles to either substrate); the token-bucket
+policer keeps its original packet-rate fields for backward
+compatibility with the seed API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.fluid.params import (
+    AqmSpec,
+    ShaperSpec,
+    WeightedShaperSpec,
+    validate_single_mechanism,
+)
+
+
+@dataclass(frozen=True)
+class PacketLinkSpec:
+    """Physical parameters of one packet-level link.
+
+    Attributes:
+        rate_pps: Service rate in packets per second.
+        delay_seconds: Propagation delay.
+        queue_packets: Droptail queue capacity.
+        policer_rate_pps: Token-bucket rate applied to the policed
+            class (None = no policing).
+        policer_bucket: Bucket depth in packets.
+        policed_class: Class the policer targets.
+        shaper: Optional dual-shaper differentiation (fractions of
+            ``rate_pps``, like the fluid substrate).
+        aqm: Optional class-targeted early-drop differentiation.
+        weighted: Optional work-conserving weighted per-class service.
+    """
+
+    rate_pps: float = 1000.0
+    delay_seconds: float = 0.005
+    queue_packets: int = 100
+    policer_rate_pps: Optional[float] = None
+    policer_bucket: float = 8.0
+    policed_class: Optional[str] = None
+    shaper: Optional[ShaperSpec] = None
+    aqm: Optional[AqmSpec] = None
+    weighted: Optional[WeightedShaperSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_pps <= 0:
+            raise ConfigurationError("rate must be positive")
+        if self.queue_packets < 1:
+            raise ConfigurationError("queue must hold >= 1 packet")
+        if (self.policer_rate_pps is None) != (self.policed_class is None):
+            raise ConfigurationError(
+                "policer rate and policed class go together"
+            )
+        if self.policer_rate_pps is not None and self.policer_rate_pps <= 0:
+            raise ConfigurationError("policer rate must be positive")
+        if self.policer_bucket < 1:
+            raise ConfigurationError("policer bucket must hold >= 1 token")
+        validate_single_mechanism(self.mechanisms)
+
+    @property
+    def mechanisms(self) -> Tuple[object, ...]:
+        """The configured differentiation mechanisms (0 or 1)."""
+        mechs = []
+        if self.policer_rate_pps is not None:
+            mechs.append(("policer", self.policer_rate_pps))
+        for m in (self.shaper, self.aqm, self.weighted):
+            if m is not None:
+                mechs.append(m)
+        return tuple(mechs)
+
+    @property
+    def is_differentiating(self) -> bool:
+        return bool(self.mechanisms)

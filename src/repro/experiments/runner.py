@@ -3,7 +3,11 @@
 This is the glue that turns a topology + workload + settings into the
 paper's outputs: per-path congestion probabilities (Figure 8's
 y-axis), Algorithm 1's verdict, and — given ground truth — the §5
-quality metrics.
+quality metrics. The emulation step is substrate-agnostic: any
+backend registered in :mod:`repro.substrate.registry` (the fluid
+engine, the packet DES, future ones) plugs in via the ``substrate``
+argument; link specs are normalized once through the shared compiler
+in :mod:`repro.substrate.spec`.
 """
 
 from __future__ import annotations
@@ -24,13 +28,15 @@ from repro.core.network import LinkSeq, Network
 from repro.core.pathsets import PathSet
 from repro.core.slices import build_slice_system, shared_sequences
 from repro.experiments.config import EmulationSettings
-from repro.fluid.engine import FluidNetwork, FluidResult
-from repro.fluid.params import FluidLinkSpec, PathWorkload
+from repro.fluid.params import PathWorkload
 from repro.measurement.clustering import make_cluster_decider
 from repro.measurement.normalize import (
     path_congestion_probability,
     pathset_performance_numbers,
 )
+from repro.substrate.base import SubstrateResult
+from repro.substrate.registry import get_substrate
+from repro.substrate.spec import LinkSpec, normalize_specs
 
 
 @dataclass(frozen=True)
@@ -38,7 +44,9 @@ class ExperimentOutcome:
     """Everything one experiment produced.
 
     Attributes:
-        emulation: Raw fluid-emulator output (traces, ground truth).
+        emulation: Raw substrate output (interval records, traces,
+            ground truth) — see :class:`repro.substrate.base.
+            SubstrateResult`.
         observations: Normalized pathset performance numbers.
         algorithm: Algorithm 1's result on those observations.
         path_congestion: Per-path raw congestion probability
@@ -47,14 +55,16 @@ class ExperimentOutcome:
             measured paths).
         quality: §5 metrics versus ground truth, when ground truth
             (the set of differentiating links) was supplied.
+        substrate: Name of the substrate that emulated this outcome.
     """
 
-    emulation: FluidResult
+    emulation: SubstrateResult
     observations: Dict[PathSet, float]
     algorithm: AlgorithmResult
     path_congestion: Dict[str, float]
     inference_network: Network
     quality: Optional[QualityReport] = None
+    substrate: str = "fluid"
 
     @property
     def verdict_non_neutral(self) -> bool:
@@ -77,35 +87,39 @@ def measured_subnetwork(
 def run_experiment(
     net: Network,
     classes: ClassAssignment,
-    link_specs: Mapping[str, FluidLinkSpec],
+    link_specs: Mapping[str, LinkSpec],
     workloads: Mapping[str, PathWorkload],
     settings: EmulationSettings = EmulationSettings(),
     ground_truth_links: Iterable[str] = None,
     min_pathsets: int = DEFAULT_MIN_PATHSETS,
+    substrate: str = "fluid",
 ) -> ExperimentOutcome:
     """Run one full experiment.
 
     Args:
         net: The network graph (including background paths).
         classes: Class assignment used by differentiating links.
-        link_specs: Fluid link specs.
+        link_specs: Per-link specs — shared
+            :class:`~repro.substrate.spec.LinkSpec` or fluid-native
+            :class:`~repro.fluid.params.FluidLinkSpec` values (both
+            are normalized through the shared compiler).
         workloads: Per-path traffic.
         settings: Emulation/inference settings.
         ground_truth_links: Links that actually differentiate, for
             quality scoring; omit to skip scoring.
         min_pathsets: Algorithm 1's line-10 threshold.
+        substrate: Name of the emulation substrate to run on.
 
     Returns:
         The :class:`ExperimentOutcome`.
     """
-    sim = FluidNetwork(
-        net, classes, link_specs, workloads, seed=settings.seed
-    )
-    emulation = sim.run(
-        duration_seconds=settings.duration_seconds,
-        dt=settings.dt,
-        interval_seconds=settings.interval_seconds,
-        warmup_seconds=settings.warmup_seconds,
+    backend = get_substrate(substrate)
+    emulation = backend.run(
+        net,
+        classes,
+        normalize_specs(link_specs),
+        workloads,
+        settings,
     )
     inference_net = measured_subnetwork(net, workloads)
 
@@ -160,4 +174,5 @@ def run_experiment(
         path_congestion=path_congestion,
         inference_network=inference_net,
         quality=quality,
+        substrate=substrate,
     )

@@ -15,15 +15,20 @@ on-disk cache, while keeping results bit-reproducible:
 * **Order-independent collection.** Results are returned keyed by
   point, in submission order, regardless of completion order.
 * **On-disk memoization.** A point's cache entry is keyed by the
-  SHA-256 of its full spec (function, kwargs, derived seed, engine
-  version), so re-running a sweep replays cache hits instead of
-  re-emulating. Bumping :data:`repro.fluid.engine.ENGINE_VERSION`
-  invalidates entries when the *emulation model* changes; no other
-  code is fingerprinted — experiment construction (topology
-  builders, workload profiles) and downstream inference/analysis
-  both feed the cached results without being part of the key, so
-  clear the cache directory (or pass a fresh ``cache_salt``) after
-  changing any of that code.
+  SHA-256 of its full spec (function, kwargs, derived seed, and the
+  point's substrate tag ``name:version``), so re-running a sweep
+  replays cache hits instead of re-emulating. The substrate tag
+  means a fluid-substrate point and a packet-substrate point can
+  never collide in a shared cache directory, and bumping the
+  substrate's version constant
+  (:data:`repro.fluid.engine.ENGINE_VERSION` /
+  :data:`repro.emulator.core.PACKET_ENGINE_VERSION`) invalidates
+  entries when that *emulation model* changes; no other code is
+  fingerprinted — experiment construction (topology builders,
+  workload profiles) and downstream inference/analysis both feed
+  the cached results without being part of the key, so clear the
+  cache directory (or pass a fresh ``cache_salt``) after changing
+  any of that code.
 
 Points must be *picklable*: a module-level callable plus plain-data
 kwargs. The callable receives ``seed=<derived seed>`` on top of its
@@ -40,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
-from repro.fluid.engine import ENGINE_VERSION
+from repro.substrate.registry import substrate_cache_tag
 
 
 def derive_seed(base_seed: int, key: str) -> int:
@@ -65,12 +70,17 @@ class SweepPoint:
             one from the runner's base seed and ``key``. Set it when
             a sweep must reproduce canonical seeds (e.g. a figure
             bench pinned to specific realizations).
+        substrate: Emulation substrate the point runs on; its
+            ``name:version`` tag is part of the cache digest, so
+            results from different substrates (or different model
+            revisions of one substrate) never collide.
     """
 
     key: str
     func: Callable[..., Any]
     kwargs: Mapping[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
+    substrate: str = "fluid"
 
     def spec_digest(self, seed: int, salt: str) -> str:
         """Cache digest of everything that determines the result."""
@@ -80,7 +90,7 @@ class SweepPoint:
             repr(sorted(self.kwargs.items())),
             str(seed),
             salt,
-            ENGINE_VERSION,
+            substrate_cache_tag(self.substrate),
         ]
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 

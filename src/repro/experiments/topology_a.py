@@ -146,6 +146,7 @@ def run_topology_a(
     set_number: int,
     value: object,
     settings: EmulationSettings = EmulationSettings(),
+    substrate: str = "fluid",
 ) -> ExperimentOutcome:
     """Run one topology-A experiment end to end.
 
@@ -153,6 +154,7 @@ def run_topology_a(
     ``path_congestion`` gives the four bars of the corresponding
     Figure 8 panel at this x-axis value, and
     ``verdict_non_neutral`` the algorithm's decision.
+    ``substrate`` picks the emulation backend (fluid or packet).
     """
     exp = build_experiment(set_number, value)
     topo = build_dumbbell(
@@ -166,6 +168,7 @@ def run_topology_a(
         exp.workloads,
         settings=settings,
         ground_truth_links=truth,
+        substrate=substrate,
     )
 
 
@@ -174,6 +177,7 @@ def _sweep_point(
     value: object,
     settings: EmulationSettings,
     seed: int,
+    substrate: str = "fluid",
 ) -> ExperimentOutcome:
     """Module-level sweep-point body (picklable for worker pools).
 
@@ -181,13 +185,16 @@ def _sweep_point(
     into ``settings`` so each point gets an independent emulation RNG
     regardless of how the sweep was configured.
     """
-    return run_topology_a(set_number, value, settings.with_seed(seed))
+    return run_topology_a(
+        set_number, value, settings.with_seed(seed), substrate=substrate
+    )
 
 
 def sweep_points(
     set_numbers,
     settings: EmulationSettings,
     derive_seeds: bool = True,
+    substrate: str = "fluid",
 ) -> List[SweepPoint]:
     """Sweep points covering the given Table 2 sets (all values).
 
@@ -199,6 +206,8 @@ def sweep_points(
             point key; ``False`` pins every point to ``settings.seed``
             itself, reproducing the sequential runner's realizations
             exactly (the figure benches rely on those).
+        substrate: Emulation backend for every point (part of each
+            point's cache digest).
     """
     points = []
     for set_number in set_numbers:
@@ -211,8 +220,10 @@ def sweep_points(
                         "set_number": set_number,
                         "value": value,
                         "settings": settings,
+                        "substrate": substrate,
                     },
                     seed=None if derive_seeds else settings.seed,
+                    substrate=substrate,
                 )
             )
     return points
@@ -223,6 +234,7 @@ def run_full_set(
     settings: EmulationSettings = EmulationSettings(),
     workers: int = 1,
     cache_dir: str = None,
+    substrate: str = "fluid",
 ) -> List[Tuple[object, ExperimentOutcome]]:
     """Run all experiments of one Table 2 set.
 
@@ -238,7 +250,10 @@ def run_full_set(
         settings, workers=workers, cache_dir=cache_dir
     )
     results = runner.run(
-        sweep_points([set_number], settings, derive_seeds=False)
+        sweep_points(
+            [set_number], settings, derive_seeds=False,
+            substrate=substrate,
+        )
     )
     return [
         (value, results[f"topoA/set{set_number}/{value}"])

@@ -125,6 +125,7 @@ TOPOLOGY_B_SETTINGS = EmulationSettings(
 def run_topology_b(
     settings: EmulationSettings = TOPOLOGY_B_SETTINGS,
     policing_rate: float = 0.15,
+    substrate: str = "fluid",
 ) -> TopologyBReport:
     """Run the full topology-B experiment and collect figure data."""
     topo = build_multi_isp(policing_rate=policing_rate)
@@ -136,6 +137,7 @@ def run_topology_b(
         workloads,
         settings=settings,
         ground_truth_links=POLICED_LINKS,
+        substrate=substrate,
     )
 
     ground_truth = {
@@ -189,10 +191,13 @@ def run_topology_b_point(
     settings: EmulationSettings,
     policing_rate: float,
     seed: int,
+    substrate: str = "fluid",
 ) -> TopologyBReport:
     """One topology-B sweep point (module-level, so worker pools can
     pickle it); ``seed`` replaces the seed baked into ``settings``."""
-    return run_topology_b(settings.with_seed(seed), policing_rate)
+    return run_topology_b(
+        settings.with_seed(seed), policing_rate, substrate=substrate
+    )
 
 
 def run_topology_b_sweep(
@@ -201,6 +206,7 @@ def run_topology_b_sweep(
     policing_rate: float = 0.15,
     workers: int = 1,
     cache_dir: str = None,
+    substrate: str = "fluid",
 ) -> List[TopologyBReport]:
     """Run several independently-seeded topology-B repetitions.
 
@@ -215,7 +221,12 @@ def run_topology_b_sweep(
         SweepPoint(
             key=f"topoB/rate{policing_rate}/rep{rep}",
             func=run_topology_b_point,
-            kwargs={"settings": settings, "policing_rate": policing_rate},
+            kwargs={
+                "settings": settings,
+                "policing_rate": policing_rate,
+                "substrate": substrate,
+            },
+            substrate=substrate,
         )
         for rep in range(repetitions)
     ]

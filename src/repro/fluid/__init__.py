@@ -16,11 +16,13 @@ from repro.fluid.engine import (
 )
 from repro.fluid.params import (
     MSS_BITS,
+    AqmSpec,
     FlowSlotSpec,
     FluidLinkSpec,
     PathWorkload,
     PolicerSpec,
     ShaperSpec,
+    WeightedShaperSpec,
     mb_to_packets,
     mbps_to_pps,
     uniform_workload,
@@ -34,6 +36,7 @@ from repro.fluid.traffic import (
 )
 
 __all__ = [
+    "AqmSpec",
     "DEFAULT_DT",
     "DEFAULT_INTERVAL",
     "ENGINE_VERSION",
@@ -47,6 +50,7 @@ __all__ = [
     "PathWorkload",
     "PolicerSpec",
     "ShaperSpec",
+    "WeightedShaperSpec",
     "TcpState",
     "build_slots",
     "mb_to_packets",

@@ -49,7 +49,7 @@ as arrival downstream (< dt smearing); queueing delay enters RTT as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -59,11 +59,15 @@ from repro.exceptions import ConfigurationError, EmulationError
 from repro.fluid.params import FluidLinkSpec, PathWorkload, build_link_arrays
 from repro.fluid.tcp import TcpArrayState
 from repro.fluid.traffic import SlotArrays
-from repro.measurement.records import MeasurementData, PathRecord
+from repro.measurement.records import (
+    MeasurementData,
+    PathRecord,
+    link_congestion_probability,
+)
 
 #: Engine implementation tag; part of the sweep result-cache key so
 #: cached outcomes are invalidated when the emulation model changes.
-ENGINE_VERSION = "fluid-vec-1"
+ENGINE_VERSION = "fluid-vec-2"
 
 #: Default step length (seconds).
 DEFAULT_DT = 0.01
@@ -114,28 +118,19 @@ class FluidResult:
     #: Mean effective RTT (base + queueing) per path per interval, in
     #: seconds — the input to the §7 latency-threshold metric
     #: (:mod:`repro.measurement.latency`).
-    path_rtt_seconds: Dict[str, np.ndarray] = None
+    path_rtt_seconds: Optional[Dict[str, np.ndarray]] = None
 
     def link_congestion_probability(
         self, link_id: str, class_name: str, loss_threshold: float = 0.01
     ) -> float:
-        """Ground-truth congestion probability of a link for a class.
-
-        The fraction of intervals (with class traffic) in which the
-        link dropped at least ``loss_threshold`` of that class's
-        arriving packets — the quantity plotted in Figure 10(a).
-        """
-        arrivals = self.link_class_arrivals[link_id][class_name]
-        drops = self.link_class_drops[link_id][class_name]
-        has_traffic = arrivals > 0
-        if not has_traffic.any():
-            return 0.0
-        with np.errstate(divide="ignore", invalid="ignore"):
-            frac = np.where(
-                has_traffic, drops / np.maximum(arrivals, 1e-12), 0.0
-            )
-        congested = (frac >= loss_threshold) & has_traffic
-        return float(congested.sum() / has_traffic.sum())
+        """Ground-truth congestion probability of a link for a class
+        (the shared definition in :func:`repro.measurement.records.
+        link_congestion_probability` — Figure 10(a)'s quantity)."""
+        return link_congestion_probability(
+            self.link_class_arrivals[link_id][class_name],
+            self.link_class_drops[link_id][class_name],
+            loss_threshold,
+        )
 
 
 class FluidNetwork:
@@ -299,23 +294,49 @@ class FluidNetwork:
         tokens = np.zeros(num_links)
         for l, _rate_dt, bucket, _m, _mf in policers:
             tokens[l] = bucket
+        def _target_mask(target_class: str) -> np.ndarray:
+            return np.array(
+                [
+                    self._classes.class_of(pid) == target_class
+                    for pid in path_ids
+                ]
+            )
+
         shapers = []
+        # Links whose traffic bypasses the common droptail queue: dual
+        # shapers and weighted-service links both keep their own pair
+        # of virtual queues (shaper_tq / shaper_oq).
         shaper_links = np.array(
-            [l for l, _ in la.shapers], dtype=np.intp
+            [l for l, _ in la.shapers] + [l for l, _ in la.weighted],
+            dtype=np.intp,
         )
         for l, sh in la.shapers:
             t_rate = sh.rate_fraction * capacity[l]
             o_rate = (1.0 - sh.rate_fraction) * capacity[l]
-            tmask = np.array(
-                [
-                    self._classes.class_of(pid) == sh.target_class
-                    for pid in path_ids
-                ]
-            ).astype(float)
+            tmask = _target_mask(sh.target_class).astype(float)
             shapers.append(
                 (l, t_rate * dt, o_rate * dt,
                  sh.buffer_seconds * t_rate, sh.buffer_seconds * o_rate,
                  tmask)
+            )
+        weighted = []
+        for l, ws in la.weighted:
+            t_rate = ws.weight * capacity[l]
+            o_rate = (1.0 - ws.weight) * capacity[l]
+            weighted.append(
+                (l, t_rate * dt, o_rate * dt, capacity[l] * dt,
+                 ws.buffer_seconds * t_rate, ws.buffer_seconds * o_rate,
+                 _target_mask(ws.target_class).astype(float))
+            )
+        aqms = []
+        for l, aq in la.aqms:
+            ramp = (
+                aq.max_threshold_fraction - aq.min_threshold_fraction
+            ) * buffers[l]
+            tmask = _target_mask(aq.target_class)
+            aqms.append(
+                (l, aq.min_threshold_fraction * buffers[l], ramp,
+                 aq.max_drop_probability, tmask, tmask.astype(float))
             )
 
         # --- slot / TCP state ------------------------------------------
@@ -355,10 +376,27 @@ class FluidNetwork:
         jitter_pos = _JITTER_BLOCK_STEPS
         jitter_cv = self._send_jitter_cv
         jitter_shape = 1.0 / (jitter_cv * jitter_cv) if jitter_cv > 0 else 0.0
-        has_shapers = bool(shapers)
+        has_shapers = bool(shapers) or bool(weighted)
         # Earliest pending flow start among idle slots, so quiet steps
         # skip the start scan with one float comparison.
         next_start_min = float(slots.next_start.min())
+
+        def shed_overflow(l, q, buf, inflow, drop_rows):
+            """Clamp a virtual queue to its buffer, shedding the
+            overflow pro rata over this step's inflow as a burst
+            drop. Returns ``(clamped q, whether anything shed)``."""
+            nonlocal burst_dirty, path_burst
+            if q <= buf:
+                return q, False
+            overflow = q - buf
+            total = float(inflow.sum())
+            if total > 0.0:
+                f = min(overflow / total, 1.0)
+                burst_row = inflow * f
+                drop_rows[l] = drop_rows.get(l, 0.0) + burst_row
+                path_burst += burst_row
+                burst_dirty = True
+            return buf, True
 
         for step in range(total_steps):
             now = step * dt
@@ -480,6 +518,28 @@ class FluidNetwork:
                         1.0 - path_smooth[present]
                     ) * (1.0 - f)
                     smooth_dirty = True
+            for l, minth, ramp, pmax, tmask, tmask_f in aqms:
+                # RED-style early drop of the targeted class: the
+                # drop probability ramps with the droptail queue's
+                # fill level; in the fluid limit the expected shed
+                # fraction is applied deterministically (smooth
+                # drops, like policer shedding).
+                f = pmax * min(max((queue[l] - minth) / ramp, 0.0), 1.0)
+                if f <= 0.0:
+                    continue
+                row = arrivals[l]
+                shed = row * tmask_f
+                demand = float(shed.sum())
+                if demand <= 0.0:
+                    continue
+                shed *= f
+                drop_rows[l] = drop_rows.get(l, 0.0) + shed
+                queue_in[l] -= f * demand
+                present = tmask & (row > 0.0)
+                path_smooth[present] = 1.0 - (
+                    1.0 - path_smooth[present]
+                ) * (1.0 - f)
+                smooth_dirty = True
             for l, t_rate_dt, o_rate_dt, t_buf, o_buf, tmask_f in shapers:
                 row = arrivals[l]
                 t_in = row * tmask_f
@@ -488,21 +548,37 @@ class FluidNetwork:
                     (shaper_tq, t_in, t_rate_dt, t_buf),
                     (shaper_oq, o_in, o_rate_dt, o_buf),
                 ):
-                    total = float(inflow.sum())
-                    q = q_arr[l] + total
+                    q = q_arr[l] + float(inflow.sum())
                     q -= min(q, served)
-                    if q > buf:
-                        overflow = q - buf
-                        q = buf
-                        f = min(overflow / total, 1.0)
-                        burst_row = inflow * f
-                        if l in drop_rows:
-                            drop_rows[l] = drop_rows[l] + burst_row
-                        else:
-                            drop_rows[l] = burst_row
-                        path_burst += burst_row
-                        burst_dirty = True
-                    q_arr[l] = q
+                    q_arr[l], _ = shed_overflow(
+                        l, q, buf, inflow, drop_rows
+                    )
+            for l, t_rate_dt, o_rate_dt, cap_l_dt, t_buf, o_buf, \
+                    tmask_f in weighted:
+                row = arrivals[l]
+                t_in = row * tmask_f
+                o_in = row - t_in
+                t_total = shaper_tq[l] + float(t_in.sum())
+                o_total = shaper_oq[l] + float(o_in.sum())
+                # Work-conserving weighted service: each virtual
+                # queue is guaranteed its share; whatever one queue
+                # cannot use, the other absorbs (capped at total
+                # capacity).
+                t_served = min(t_total, t_rate_dt)
+                o_served = min(o_total, o_rate_dt)
+                spare = cap_l_dt - t_served - o_served
+                if spare > 0.0:
+                    extra_o = min(spare, o_total - o_served)
+                    o_served += extra_o
+                    spare -= extra_o
+                    t_served += min(spare, t_total - t_served)
+                for q_val, inflow, buf, q_arr in (
+                    (t_total - t_served, t_in, t_buf, shaper_tq),
+                    (o_total - o_served, o_in, o_buf, shaper_oq),
+                ):
+                    q_arr[l], _ = shed_overflow(
+                        l, q_val, buf, inflow, drop_rows
+                    )
             if len(shaper_links):
                 queue_in[shaper_links] = 0.0
             # Droptail FIFO on the common queues: serve at capacity,

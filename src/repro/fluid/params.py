@@ -32,6 +32,21 @@ def mb_to_packets(megabits: float) -> float:
     return megabits * MEGABIT / MSS_BITS
 
 
+def validate_single_mechanism(mechanisms: Sequence[object]) -> None:
+    """The one-mechanism-per-link rule, shared by every spec layer.
+
+    ``FluidLinkSpec``, ``PacketLinkSpec``, and the substrate-neutral
+    ``LinkSpec`` all enforce the same constraint through this single
+    check, so no substrate can accept a mechanism combination the
+    others reject.
+    """
+    if len(mechanisms) > 1:
+        raise ConfigurationError(
+            "a link can apply at most one differentiation "
+            "mechanism (policer, shaper, aqm, or weighted)"
+        )
+
+
 @dataclass(frozen=True)
 class PolicerSpec:
     """Token-bucket policing of one class (paper §6.1).
@@ -97,6 +112,89 @@ class ShaperSpec:
 
 
 @dataclass(frozen=True)
+class AqmSpec:
+    """Class-targeted AQM early drop (RED/PIE-flavoured).
+
+    The link drops arriving traffic of the targeted class *before* the
+    queue overflows, with a probability ramping linearly from 0 at
+    ``min_threshold_fraction`` of the buffer to
+    ``max_drop_probability`` at ``max_threshold_fraction`` — the
+    flow-queuing/AQM differentiation family (Sander et al.): the
+    untargeted class still sees a droptail queue, so the targeted
+    class records loss in intervals where the other one records none.
+
+    Attributes:
+        target_class: The early-dropped class.
+        min_threshold_fraction: Queue fill fraction where early drop
+            starts.
+        max_threshold_fraction: Queue fill fraction where the drop
+            probability saturates.
+        max_drop_probability: Drop probability at (and beyond) the
+            max threshold.
+    """
+
+    target_class: str
+    min_threshold_fraction: float = 0.05
+    max_threshold_fraction: float = 0.5
+    max_drop_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_threshold_fraction < 1.0:
+            raise ConfigurationError(
+                "AQM min threshold must be in [0,1)"
+            )
+        if not (
+            self.min_threshold_fraction
+            < self.max_threshold_fraction
+            <= 1.0
+        ):
+            raise ConfigurationError(
+                "AQM max threshold must be in (min_threshold, 1]"
+            )
+        if not 0.0 < self.max_drop_probability <= 1.0:
+            raise ConfigurationError(
+                "AQM max drop probability must be in (0,1]"
+            )
+
+
+@dataclass(frozen=True)
+class WeightedShaperSpec:
+    """Work-conserving weighted per-class service (WFQ-flavoured).
+
+    The link serves two virtual FIFO queues — the targeted class and
+    everyone else — with service shares ``weight`` and ``1 − weight``
+    of capacity. Unlike :class:`ShaperSpec` (two independent rate
+    limiters), unused share is reallocated to the backlogged queue,
+    so the link stays work-conserving: differentiation appears only
+    under contention, which makes it the subtlest mechanism family.
+
+    Attributes:
+        target_class: The deprioritized class.
+        weight: Service share granted to the target class when both
+            queues are backlogged.
+        buffer_seconds: Each virtual queue's depth in seconds at its
+            own guaranteed rate. Default is deliberately shallow
+            (flow-queuing schedulers keep short per-queue buffers):
+            a deep buffer turns the differentiation into pure
+            queueing latency and starves the loss-based congestion
+            signal of events.
+    """
+
+    target_class: str
+    weight: float
+    buffer_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight < 1.0:
+            raise ConfigurationError(
+                f"weighted-shaper weight must be in (0,1), "
+                f"got {self.weight}"
+            )
+        if self.buffer_seconds <= 0:
+            raise ConfigurationError("buffer_seconds must be positive")
+
+
+@dataclass(frozen=True)
 class FluidLinkSpec:
     """Physical parameters of one emulated link.
 
@@ -107,22 +205,32 @@ class FluidLinkSpec:
             traversing traffic (a bandwidth-delay product).
         policer: Optional token-bucket differentiation.
         shaper: Optional dual-shaper differentiation.
+        aqm: Optional class-targeted early-drop differentiation.
+        weighted: Optional weighted per-class service.
     """
 
     capacity_mbps: float = 100.0
     buffer_rtt_seconds: float = 0.2
     policer: Optional[PolicerSpec] = None
     shaper: Optional[ShaperSpec] = None
+    aqm: Optional[AqmSpec] = None
+    weighted: Optional[WeightedShaperSpec] = None
 
     def __post_init__(self) -> None:
         if self.capacity_mbps <= 0:
             raise ConfigurationError("capacity must be positive")
         if self.buffer_rtt_seconds <= 0:
             raise ConfigurationError("buffer depth must be positive")
-        if self.policer is not None and self.shaper is not None:
-            raise ConfigurationError(
-                "a link cannot both police and shape (pick one)"
-            )
+        validate_single_mechanism(self.mechanisms)
+
+    @property
+    def mechanisms(self) -> Tuple[object, ...]:
+        """The configured differentiation mechanisms (0 or 1)."""
+        return tuple(
+            m
+            for m in (self.policer, self.shaper, self.aqm, self.weighted)
+            if m is not None
+        )
 
     @property
     def capacity_pps(self) -> float:
@@ -134,7 +242,7 @@ class FluidLinkSpec:
 
     @property
     def is_differentiating(self) -> bool:
-        return self.policer is not None or self.shaper is not None
+        return bool(self.mechanisms)
 
 
 @dataclass(frozen=True)
@@ -153,6 +261,9 @@ class LinkArrays:
         buffer_packets: Droptail queue depth per link.
         policers: ``(link_index, PolicerSpec)`` for policing links.
         shapers: ``(link_index, ShaperSpec)`` for shaping links.
+        aqms: ``(link_index, AqmSpec)`` for early-drop links.
+        weighted: ``(link_index, WeightedShaperSpec)`` for
+            weighted-service links.
     """
 
     ids: Tuple[str, ...]
@@ -160,6 +271,8 @@ class LinkArrays:
     buffer_packets: np.ndarray
     policers: Tuple[Tuple[int, PolicerSpec], ...]
     shapers: Tuple[Tuple[int, ShaperSpec], ...]
+    aqms: Tuple[Tuple[int, AqmSpec], ...] = ()
+    weighted: Tuple[Tuple[int, WeightedShaperSpec], ...] = ()
 
 
 def build_link_arrays(
@@ -171,18 +284,26 @@ def build_link_arrays(
     buffers = np.array([specs[lid].buffer_packets for lid in ids])
     policers: List[Tuple[int, PolicerSpec]] = []
     shapers: List[Tuple[int, ShaperSpec]] = []
+    aqms: List[Tuple[int, AqmSpec]] = []
+    weighted: List[Tuple[int, WeightedShaperSpec]] = []
     for i, lid in enumerate(ids):
         spec = specs[lid]
         if spec.policer is not None:
             policers.append((i, spec.policer))
         if spec.shaper is not None:
             shapers.append((i, spec.shaper))
+        if spec.aqm is not None:
+            aqms.append((i, spec.aqm))
+        if spec.weighted is not None:
+            weighted.append((i, spec.weighted))
     return LinkArrays(
         ids=ids,
         capacity_pps=capacity,
         buffer_packets=buffers,
         policers=tuple(policers),
         shapers=tuple(shapers),
+        aqms=tuple(aqms),
+        weighted=tuple(weighted),
     )
 
 

@@ -153,6 +153,31 @@ class MeasurementData:
         return MeasurementData(records, self.interval_seconds * factor)
 
 
+def link_congestion_probability(
+    arrivals: np.ndarray,
+    drops: np.ndarray,
+    loss_threshold: float = 0.01,
+) -> float:
+    """Ground-truth congestion probability from per-interval counts.
+
+    The fraction of intervals (with traffic) in which at least
+    ``loss_threshold`` of the arriving packets were dropped — the
+    quantity plotted in Figure 10(a). Both substrates' result objects
+    delegate here, so the definition cannot drift between them.
+    """
+    arrivals = np.asarray(arrivals, dtype=float)
+    drops = np.asarray(drops, dtype=float)
+    has_traffic = arrivals > 0
+    if not has_traffic.any():
+        return 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = np.where(
+            has_traffic, drops / np.maximum(arrivals, 1e-12), 0.0
+        )
+    congested = (frac >= loss_threshold) & has_traffic
+    return float(congested.sum() / has_traffic.sum())
+
+
 def from_arrays(
     sent: Mapping[str, np.ndarray],
     lost: Mapping[str, np.ndarray],

@@ -1,0 +1,57 @@
+"""Pluggable emulation substrates.
+
+The experiment pipeline (emulate → measure → infer) is written
+against :class:`~repro.substrate.base.EmulationSubstrate`, not
+against a particular engine. This package holds the protocol, the
+shared link-spec compiler, the substrate registry (fluid engine +
+packet DES), and the declarative :class:`~repro.substrate.scenario.
+Scenario` layer that compiles one experiment description for any
+registered backend.
+"""
+
+from repro.substrate.base import EmulationSubstrate, SubstrateResult
+from repro.substrate.registry import (
+    FluidSubstrate,
+    PacketSubstrate,
+    available_substrates,
+    get_substrate,
+    substrate_cache_tag,
+)
+from repro.substrate.scenario import (
+    MECHANISMS,
+    CompiledScenario,
+    DifferentiationPolicy,
+    Scenario,
+    compile_scenario,
+    run_scenario,
+)
+from repro.substrate.spec import (
+    DEFAULT_DELAY_SECONDS,
+    LinkSpec,
+    from_fluid,
+    normalize_specs,
+    to_fluid,
+    to_packet,
+)
+
+__all__ = [
+    "CompiledScenario",
+    "DEFAULT_DELAY_SECONDS",
+    "DifferentiationPolicy",
+    "EmulationSubstrate",
+    "FluidSubstrate",
+    "LinkSpec",
+    "MECHANISMS",
+    "PacketSubstrate",
+    "Scenario",
+    "SubstrateResult",
+    "available_substrates",
+    "compile_scenario",
+    "from_fluid",
+    "get_substrate",
+    "normalize_specs",
+    "run_scenario",
+    "substrate_cache_tag",
+    "to_fluid",
+    "to_packet",
+]

@@ -1,0 +1,88 @@
+"""The emulation-substrate protocol and its shared result schema.
+
+Every substrate — the fluid engine, the packet DES, and any future
+backend — plugs into the experiment pipeline through two structural
+contracts:
+
+* :class:`SubstrateResult` — the interval-record schema a run emits:
+  per-path *(sent, lost)* measurement records, per-link per-class
+  ground-truth arrival/drop counts, queue-occupancy traces, and
+  per-path RTT series. :class:`repro.fluid.engine.FluidResult` and
+  :class:`repro.emulator.core.PacketResult` both satisfy it
+  structurally (no inheritance required).
+* :class:`EmulationSubstrate` — a named, versioned backend that
+  turns *(network, classes, shared link specs, workloads, settings)*
+  into a :class:`SubstrateResult`. The version string participates
+  in the sweep result-cache key, so two substrates (or two model
+  revisions of one substrate) can never collide in a shared cache.
+
+Experiment code (:mod:`repro.experiments.runner`, the sweeps, the
+CLI) consumes substrates only through this protocol plus the
+registry (:mod:`repro.substrate.registry`).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Mapping,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.core.classes import ClassAssignment
+from repro.core.network import Network
+from repro.fluid.params import PathWorkload
+from repro.measurement.records import MeasurementData
+from repro.substrate.spec import LinkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import; a
+    # runtime import would cycle through repro.experiments.__init__,
+    # whose runner module imports this protocol.
+    from repro.experiments.config import EmulationSettings
+
+
+@runtime_checkable
+class SubstrateResult(Protocol):
+    """Structural schema of one emulation run's output."""
+
+    measurements: MeasurementData
+    link_class_arrivals: Dict[str, Dict[str, np.ndarray]]
+    link_class_drops: Dict[str, Dict[str, np.ndarray]]
+    queue_occupancy: Dict[str, np.ndarray]
+    interval_seconds: float
+    flows_completed: Dict[str, int]
+    path_rtt_seconds: Optional[Dict[str, np.ndarray]]
+
+    def link_congestion_probability(
+        self, link_id: str, class_name: str, loss_threshold: float = 0.01
+    ) -> float:
+        """Ground-truth per-link, per-class congestion probability."""
+        ...
+
+
+class EmulationSubstrate(Protocol):
+    """A pluggable emulation backend.
+
+    Attributes:
+        name: Registry key (``"fluid"``, ``"packet"``, …).
+        version: Model-revision tag folded into sweep cache digests.
+    """
+
+    name: str
+    version: str
+
+    def run(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        link_specs: Mapping[str, LinkSpec],
+        workloads: Mapping[str, PathWorkload],
+        settings: "EmulationSettings",
+    ) -> SubstrateResult:
+        """Emulate one experiment and return its interval records."""
+        ...

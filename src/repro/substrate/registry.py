@@ -1,0 +1,121 @@
+"""Substrate registry: the fluid engine and the packet DES.
+
+Each entry is an :class:`~repro.substrate.base.EmulationSubstrate`
+adapter binding one engine to the shared spec/result contracts. Look
+backends up by name (``get_substrate``) and fingerprint them for
+sweep caching (``substrate_cache_tag``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Mapping, Tuple
+
+from repro.core.classes import ClassAssignment
+from repro.core.network import Network
+from repro.exceptions import ConfigurationError
+from repro.fluid.params import PathWorkload
+from repro.substrate.spec import LinkSpec, to_fluid, to_packet
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (see base.py)
+    from repro.experiments.config import EmulationSettings
+
+
+class FluidSubstrate:
+    """The time-stepped fluid engine (primary sweep substrate)."""
+
+    name = "fluid"
+
+    @property
+    def version(self) -> str:
+        from repro.fluid.engine import ENGINE_VERSION
+
+        return ENGINE_VERSION
+
+    def run(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        link_specs: Mapping[str, LinkSpec],
+        workloads: Mapping[str, PathWorkload],
+        settings: "EmulationSettings",
+    ):
+        from repro.fluid.engine import FluidNetwork
+
+        sim = FluidNetwork(
+            net,
+            classes,
+            {lid: to_fluid(spec) for lid, spec in link_specs.items()},
+            workloads,
+            seed=settings.seed,
+        )
+        return sim.run(
+            duration_seconds=settings.duration_seconds,
+            dt=settings.dt,
+            interval_seconds=settings.interval_seconds,
+            warmup_seconds=settings.warmup_seconds,
+        )
+
+
+class PacketSubstrate:
+    """The batched per-packet DES (validation / cross-check
+    substrate; ``settings.dt`` does not apply — the engine picks its
+    own batching quantum from the workload RTTs)."""
+
+    name = "packet"
+
+    @property
+    def version(self) -> str:
+        from repro.emulator.core import PACKET_ENGINE_VERSION
+
+        return PACKET_ENGINE_VERSION
+
+    def run(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        link_specs: Mapping[str, LinkSpec],
+        workloads: Mapping[str, PathWorkload],
+        settings: "EmulationSettings",
+    ):
+        from repro.emulator.core import PacketNetwork
+
+        sim = PacketNetwork(
+            net,
+            classes,
+            {lid: to_packet(spec) for lid, spec in link_specs.items()},
+            workloads=workloads,
+            seed=settings.seed,
+        )
+        return sim.run(
+            duration_seconds=settings.duration_seconds,
+            interval_seconds=settings.interval_seconds,
+            warmup_seconds=settings.warmup_seconds,
+        )
+
+
+_SUBSTRATES: Dict[str, object] = {
+    "fluid": FluidSubstrate(),
+    "packet": PacketSubstrate(),
+}
+
+
+def available_substrates() -> Tuple[str, ...]:
+    """Registered substrate names, in registration order."""
+    return tuple(_SUBSTRATES)
+
+
+def get_substrate(name: str):
+    """Look a substrate up by name."""
+    try:
+        return _SUBSTRATES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown substrate {name!r}; "
+            f"available: {', '.join(_SUBSTRATES)}"
+        ) from None
+
+
+def substrate_cache_tag(name: str) -> str:
+    """``name:version`` — the cache-key component of a substrate."""
+    sub = get_substrate(name)
+    return f"{sub.name}:{sub.version}"

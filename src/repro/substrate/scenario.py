@@ -1,0 +1,287 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` is plain data — topology + workload +
+differentiation policy + substrate + settings — that *compiles* to
+the concrete objects the pipeline runs: a network, a class
+assignment, shared per-link :class:`~repro.substrate.spec.LinkSpec`
+values, per-path workloads, and the ground-truth link set. The same
+scenario compiles for any registered substrate, which is how the
+cross-substrate benches express "the same experiment on the fluid
+engine and the packet DES".
+
+The policy layer covers the paper's two mechanisms (token-bucket
+policing, dual shaping) plus the two newer differentiation families:
+class-targeted AQM early drop (RED/PIE-flavoured) and
+work-conserving weighted per-class service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from repro.core.classes import ClassAssignment
+from repro.core.network import Network
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import EmulationSettings
+from repro.fluid.params import (
+    AqmSpec,
+    PathWorkload,
+    PolicerSpec,
+    ShaperSpec,
+    WeightedShaperSpec,
+)
+from repro.substrate.spec import LinkSpec, normalize_specs
+
+#: The differentiation mechanism families a policy can express.
+MECHANISMS = ("policing", "shaping", "aqm", "weighted")
+
+
+@dataclass(frozen=True)
+class DifferentiationPolicy:
+    """One link's differentiation policy, mechanism-agnostic.
+
+    Attributes:
+        mechanism: One of :data:`MECHANISMS`.
+        target_class: The targeted (throttled) class.
+        rate_fraction: Policing/shaping rate, or the weighted
+            mechanism's service share, as a fraction of capacity.
+        burst_seconds: Policer bucket depth (seconds at the policing
+            rate).
+        buffer_seconds: Shaper/weighted virtual-queue depth; ``None``
+            keeps each mechanism's own default (0.25 s for the dual
+            shaper per the paper, a shallow 0.05 s for the
+            flow-queuing-style weighted mechanism).
+        aqm_min_threshold: AQM early-drop onset (queue fill fraction).
+        aqm_max_threshold: AQM saturation point (queue fill fraction).
+        aqm_max_drop_probability: AQM drop probability at saturation.
+    """
+
+    mechanism: str
+    target_class: str = "c2"
+    rate_fraction: float = 0.3
+    burst_seconds: float = 0.005
+    buffer_seconds: Optional[float] = None
+    aqm_min_threshold: float = 0.05
+    aqm_max_threshold: float = 0.5
+    aqm_max_drop_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in MECHANISMS:
+            raise ConfigurationError(
+                f"unknown mechanism {self.mechanism!r}; "
+                f"valid: {MECHANISMS}"
+            )
+
+    def mechanism_spec(self) -> object:
+        """The shared-vocabulary spec object for this policy."""
+        if self.mechanism == "policing":
+            return PolicerSpec(
+                target_class=self.target_class,
+                rate_fraction=self.rate_fraction,
+                burst_seconds=self.burst_seconds,
+            )
+        if self.mechanism == "shaping":
+            kwargs = (
+                {}
+                if self.buffer_seconds is None
+                else {"buffer_seconds": self.buffer_seconds}
+            )
+            return ShaperSpec(
+                target_class=self.target_class,
+                rate_fraction=self.rate_fraction,
+                **kwargs,
+            )
+        if self.mechanism == "aqm":
+            return AqmSpec(
+                target_class=self.target_class,
+                min_threshold_fraction=self.aqm_min_threshold,
+                max_threshold_fraction=self.aqm_max_threshold,
+                max_drop_probability=self.aqm_max_drop_probability,
+            )
+        kwargs = (
+            {}
+            if self.buffer_seconds is None
+            else {"buffer_seconds": self.buffer_seconds}
+        )
+        return WeightedShaperSpec(
+            target_class=self.target_class,
+            weight=self.rate_fraction,
+            **kwargs,
+        )
+
+    def apply_to(self, spec: LinkSpec) -> LinkSpec:
+        """A copy of ``spec`` carrying this policy (and no other)."""
+        mech = self.mechanism_spec()
+        return LinkSpec(
+            capacity_mbps=spec.capacity_mbps,
+            buffer_seconds=spec.buffer_seconds,
+            delay_seconds=spec.delay_seconds,
+            policer=mech if self.mechanism == "policing" else None,
+            shaper=mech if self.mechanism == "shaping" else None,
+            aqm=mech if self.mechanism == "aqm" else None,
+            weighted=mech if self.mechanism == "weighted" else None,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative experiment description (plain, picklable data).
+
+    Attributes:
+        name: Human-readable scenario id.
+        topology: ``"dumbbell"`` (topology A) or ``"multi_isp"``
+            (topology B).
+        substrate: Registered substrate name.
+        policy: Differentiation policy of the topology's
+            differentiating link(s); ``None`` keeps them neutral.
+        mean_flow_size_mb / rtt_ms / congestion_control /
+        mean_gap_seconds / flows_per_path: Workload knobs (dumbbell;
+            topology B always carries its Table 3 mixes).
+        capacity_mbps: Bottleneck capacity; access links get 10×.
+        buffer_seconds: Bottleneck queue depth.
+        settings: Emulation/inference settings.
+    """
+
+    name: str
+    topology: str = "dumbbell"
+    substrate: str = "fluid"
+    policy: Optional[DifferentiationPolicy] = None
+    mean_flow_size_mb: float = 10.0
+    rtt_ms: float = 50.0
+    congestion_control: str = "cubic"
+    mean_gap_seconds: float = 10.0
+    flows_per_path: Optional[int] = None
+    capacity_mbps: float = 100.0
+    buffer_seconds: float = 0.2
+    settings: EmulationSettings = field(default_factory=EmulationSettings)
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("dumbbell", "multi_isp"):
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}"
+            )
+
+    def with_substrate(self, substrate: str) -> "Scenario":
+        from dataclasses import replace
+
+        return replace(self, substrate=substrate)
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A scenario lowered to runnable objects.
+
+    Attributes:
+        scenario: The source description.
+        network: The graph.
+        classes: The class assignment.
+        link_specs: Shared per-link specs (compile with
+            :func:`repro.substrate.spec.to_fluid` /
+            :func:`~repro.substrate.spec.to_packet`, or hand them to
+            :func:`repro.experiments.runner.run_experiment`).
+        workloads: Per-path traffic.
+        ground_truth_links: Links that actually differentiate.
+    """
+
+    scenario: Scenario
+    network: Network
+    classes: ClassAssignment
+    link_specs: Dict[str, LinkSpec]
+    workloads: Dict[str, PathWorkload]
+    ground_truth_links: FrozenSet[str]
+
+
+def compile_scenario(scenario: Scenario) -> CompiledScenario:
+    """Lower a :class:`Scenario` to concrete per-substrate inputs."""
+    if scenario.topology == "dumbbell":
+        return _compile_dumbbell(scenario)
+    return _compile_multi_isp(scenario)
+
+
+def _compile_dumbbell(scenario: Scenario) -> CompiledScenario:
+    from repro.topology.dumbbell import SHARED_LINK, build_dumbbell
+    from repro.workloads.profiles import class_workload
+
+    topo = build_dumbbell(
+        mechanism=None,
+        capacity_mbps=scenario.capacity_mbps,
+        buffer_rtt_seconds=scenario.buffer_seconds,
+    )
+    specs = normalize_specs(topo.link_specs)
+    truth: FrozenSet[str] = frozenset()
+    if scenario.policy is not None:
+        specs[SHARED_LINK] = scenario.policy.apply_to(specs[SHARED_LINK])
+        truth = frozenset((SHARED_LINK,))
+    workloads = class_workload(
+        topo.network.path_ids,
+        mean_size_mb=scenario.mean_flow_size_mb,
+        rtt_ms=scenario.rtt_ms,
+        congestion_control=scenario.congestion_control,
+        mean_gap_seconds=scenario.mean_gap_seconds,
+        flows_per_path=scenario.flows_per_path,
+    )
+    return CompiledScenario(
+        scenario=scenario,
+        network=topo.network,
+        classes=topo.classes,
+        link_specs=specs,
+        workloads=workloads,
+        ground_truth_links=truth,
+    )
+
+
+def _compile_multi_isp(scenario: Scenario) -> CompiledScenario:
+    from repro.topology.multi_isp import POLICED_LINKS, build_multi_isp
+    from repro.experiments.topology_b import table3_workloads
+
+    rate = (
+        scenario.policy.rate_fraction
+        if scenario.policy is not None
+        else 0.15
+    )
+    topo = build_multi_isp(policing_rate=rate)
+    specs = normalize_specs(topo.link_specs)
+    truth: FrozenSet[str] = frozenset()
+    if scenario.policy is None:
+        # Neutral variant: strip the built-in policers.
+        for lid in POLICED_LINKS:
+            old = specs[lid]
+            specs[lid] = LinkSpec(
+                capacity_mbps=old.capacity_mbps,
+                buffer_seconds=old.buffer_seconds,
+                delay_seconds=old.delay_seconds,
+            )
+    else:
+        for lid in POLICED_LINKS:
+            specs[lid] = scenario.policy.apply_to(specs[lid])
+        truth = frozenset(POLICED_LINKS)
+    return CompiledScenario(
+        scenario=scenario,
+        network=topo.network,
+        classes=topo.classes,
+        link_specs=specs,
+        workloads=table3_workloads(topo),
+        ground_truth_links=truth,
+    )
+
+
+def run_scenario(scenario: Scenario):
+    """Compile and run one scenario end to end.
+
+    Returns the :class:`repro.experiments.runner.ExperimentOutcome`
+    (emulation on the scenario's substrate, then the full Algorithm
+    2 → Algorithm 1 inference and §5 quality scoring).
+    """
+    from repro.experiments.runner import run_experiment
+
+    compiled = compile_scenario(scenario)
+    return run_experiment(
+        compiled.network,
+        compiled.classes,
+        compiled.link_specs,
+        compiled.workloads,
+        settings=scenario.settings,
+        ground_truth_links=compiled.ground_truth_links,
+        substrate=scenario.substrate,
+    )

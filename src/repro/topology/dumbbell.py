@@ -18,7 +18,13 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.classes import ClassAssignment, two_classes
 from repro.core.network import Network, Path
-from repro.fluid.params import FluidLinkSpec, PolicerSpec, ShaperSpec
+from repro.fluid.params import (
+    AqmSpec,
+    FluidLinkSpec,
+    PolicerSpec,
+    ShaperSpec,
+    WeightedShaperSpec,
+)
 
 #: Id of the shared (possibly differentiating) link.
 SHARED_LINK = "l5"
@@ -55,10 +61,12 @@ def build_dumbbell(
     """Build topology A.
 
     Args:
-        mechanism: ``None`` (neutral ``l5``), ``"policing"`` or
-            ``"shaping"``.
-        rate_fraction: Policing/shaping rate as a fraction of
-            capacity (Table 1 sweeps 0.2–0.5).
+        mechanism: ``None`` (neutral ``l5``), ``"policing"``,
+            ``"shaping"``, ``"aqm"`` (class-targeted early drop), or
+            ``"weighted"`` (work-conserving weighted service).
+        rate_fraction: Policing/shaping rate — or the weighted
+            mechanism's service share — as a fraction of capacity
+            (Table 1 sweeps 0.2–0.5); ignored by ``"aqm"``.
         capacity_mbps: Capacity of the shared link (Table 1 default
             100 Mbps); access links get 10×.
         buffer_rtt_seconds: Queue depth of the shared link in seconds
@@ -79,10 +87,18 @@ def build_dumbbell(
 
     policer = None
     shaper = None
+    aqm = None
+    weighted = None
     if mechanism == "policing":
         policer = PolicerSpec(target_class="c2", rate_fraction=rate_fraction)
     elif mechanism == "shaping":
         shaper = ShaperSpec(target_class="c2", rate_fraction=rate_fraction)
+    elif mechanism == "aqm":
+        aqm = AqmSpec(target_class="c2")
+    elif mechanism == "weighted":
+        weighted = WeightedShaperSpec(
+            target_class="c2", weight=rate_fraction
+        )
     elif mechanism is not None:
         raise ValueError(f"unknown mechanism {mechanism!r}")
 
@@ -95,6 +111,8 @@ def build_dumbbell(
         buffer_rtt_seconds=buffer_rtt_seconds,
         policer=policer,
         shaper=shaper,
+        aqm=aqm,
+        weighted=weighted,
     )
     return DumbbellTopology(
         network=net,

@@ -1,0 +1,80 @@
+"""Packet-substrate golden smoke: pinned dumbbell regressions.
+
+``golden/packet_goldens.json`` holds per-path ``(sent, lost)``
+totals and congestion probabilities captured from the batched packet
+engine on four locked dumbbell configurations — neutral, policing,
+AQM, weighted — at a pinned seed (mirroring
+``tests/fluid/test_golden_equivalence.py``). Tolerances are bands,
+not exact equality, so legitimate numerical drift across numpy
+builds passes while a regime change in the emulated physics fails:
+
+* per-path congestion probabilities within an absolute band;
+* per-path traffic volumes at the same scale;
+* the differentiation structure: the targeted class far worse under
+  every mechanism, the classes alike when neutral;
+* two runs at the same seed are bit-identical (determinism).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from golden_packet_config import GOLDEN_PATH, SCENARIOS, run_scenario
+
+#: Absolute tolerance on congestion probabilities vs the capture.
+P_CONGESTED_TOL = 0.12
+
+#: Per-path sent-volume ratio band vs the capture.
+SENT_RATIO_BAND = (1 / 2.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def current():
+    return {sc: run_scenario(sc) for sc in SCENARIOS}
+
+
+class TestPacketGoldens:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_path_congestion_within_tolerance(
+        self, goldens, current, scenario
+    ):
+        for pid, gold in goldens[scenario]["paths"].items():
+            got = current[scenario]["paths"][pid]
+            assert got["p_congested"] == pytest.approx(
+                gold["p_congested"], abs=P_CONGESTED_TOL
+            ), (scenario, pid)
+
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_sent_volumes_at_same_scale(self, goldens, current, scenario):
+        lo, hi = SENT_RATIO_BAND
+        for pid, gold in goldens[scenario]["paths"].items():
+            got = current[scenario]["paths"][pid]
+            ratio = got["sent"] / max(gold["sent"], 1)
+            assert lo < ratio < hi, (scenario, pid, ratio)
+
+    def test_neutral_classes_balanced(self, current):
+        cong = current["neutral"]["l5_class_congestion"]
+        assert abs(cong["c1"] - cong["c2"]) < 0.12, cong
+
+    @pytest.mark.parametrize("scenario", [s for s in SCENARIOS if s != "neutral"])
+    def test_differentiation_structure(self, current, scenario):
+        """Every mechanism leaves the targeted class clearly worse at
+        the shared link."""
+        cong = current[scenario]["l5_class_congestion"]
+        assert cong["c2"] > cong["c1"] + 0.1, (scenario, cong)
+        paths = current[scenario]["paths"]
+        c1 = np.mean([paths["p1"]["p_congested"], paths["p2"]["p_congested"]])
+        c2 = np.mean([paths["p3"]["p_congested"], paths["p4"]["p_congested"]])
+        assert c2 > c1, (scenario, c1, c2)
+
+    def test_determinism(self):
+        a = run_scenario("policing")
+        b = run_scenario("policing")
+        assert a == b

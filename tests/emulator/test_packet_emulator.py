@@ -64,7 +64,7 @@ class TestBehaviour:
         sim = PacketNetwork(
             net, classes, specs, {"p1": [2000], "p2": [2000]}, seed=1
         )
-        data = sim.run(duration_seconds=10.0)
+        data = sim.run(duration_seconds=10.0).measurements
         for pid in ("p1", "p2"):
             rec = data.record(pid)
             assert rec.sent.sum() > 0
@@ -75,7 +75,7 @@ class TestBehaviour:
         sim = PacketNetwork(
             net, classes, specs, {"p1": [100000], "p2": [100000]}, seed=1
         )
-        data = sim.run(duration_seconds=10.0)
+        data = sim.run(duration_seconds=10.0).measurements
         total = sum(
             data.record(p).sent.sum() for p in ("p1", "p2")
         )
@@ -88,7 +88,7 @@ class TestBehaviour:
         sim = PacketNetwork(
             net, classes, specs, {"p1": [100000], "p2": [100000]}, seed=1
         )
-        data = sim.run(duration_seconds=15.0)
+        data = sim.run(duration_seconds=15.0).measurements
         p1 = path_congestion_probability(data, "p1")
         p2 = path_congestion_probability(data, "p2")
         assert p2 > p1
@@ -100,7 +100,7 @@ class TestBehaviour:
             sim = PacketNetwork(
                 net, classes, specs, {"p1": [500], "p2": [500]}, seed=3
             )
-            runs.append(sim.run(duration_seconds=5.0))
+            runs.append(sim.run(duration_seconds=5.0).measurements)
         np.testing.assert_array_equal(
             runs[0].record("p1").sent, runs[1].record("p1").sent
         )
@@ -115,7 +115,7 @@ class TestCrossValidation:
         sim = PacketNetwork(
             net, classes, specs, {"p1": [100000], "p2": [100000]}, seed=5
         )
-        data = sim.run(duration_seconds=15.0)
+        data = sim.run(duration_seconds=15.0).measurements
         p1 = path_congestion_probability(data, "p1")
         p2 = path_congestion_probability(data, "p2")
         assert p2 > 2 * p1

@@ -58,6 +58,42 @@ class TestCli:
         out = capsys.readouterr().out
         assert "verdict" in out
 
+    def test_fig8_packet_substrate_runs(self, capsys):
+        code = main(
+            [
+                "fig8",
+                "--set", "6",
+                "--value", "30.0",
+                "--duration", "30",
+                "--seed", "1",
+                "--substrate", "packet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+
+    def test_sweep_packet_substrate_runs(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--sets", "6",
+                "--duration", "20",
+                "--substrate", "packet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "topoA/set6" in out
+
+    def test_parser_rejects_unknown_substrate(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fig8", "--set", "6", "--substrate", "ns3"]
+            )
+
     def test_fig8_invalid_value(self, capsys):
         code = main(
             ["fig8", "--set", "6", "--value", "33.0", "--duration", "30"]

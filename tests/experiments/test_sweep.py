@@ -151,6 +151,53 @@ class TestCache:
         salted.run(_points((1.0,)))
         assert salted.stats.cache_hits == 0
 
+    def test_substrate_changes_cache_key(self, tmp_path):
+        """Satellite regression: the digest used to fingerprint only
+        the fluid engine version, so a packet-substrate point could
+        replay a fluid-substrate result from a shared cache dir."""
+        cache = str(tmp_path / "cache")
+        SweepRunner(base_seed=5, cache_dir=cache).run(_points((1.0,)))
+        packet_points = [
+            SweepPoint(
+                key="point/1.0",
+                func=_emulate_point,
+                kwargs={"value": 1.0},
+                substrate="packet",
+            )
+        ]
+        other = SweepRunner(base_seed=5, cache_dir=cache)
+        other.run(packet_points)
+        assert other.stats.cache_hits == 0
+        assert other.stats.executed == 1
+
+    def test_substrate_version_in_digest(self):
+        from repro.emulator.core import PACKET_ENGINE_VERSION
+        from repro.fluid.engine import ENGINE_VERSION
+
+        fluid = _points((1.0,))[0]
+        packet = SweepPoint(
+            key="point/1.0",
+            func=_emulate_point,
+            kwargs={"value": 1.0},
+            substrate="packet",
+        )
+        assert fluid.spec_digest(1, "") != packet.spec_digest(1, "")
+        # Digest must move when the substrate's model version moves.
+        import repro.substrate.registry as registry
+
+        class _Stub:
+            name = "fluid"
+            version = ENGINE_VERSION + "-next"
+
+        original = registry._SUBSTRATES["fluid"]
+        registry._SUBSTRATES["fluid"] = _Stub()
+        try:
+            bumped = fluid.spec_digest(1, "")
+        finally:
+            registry._SUBSTRATES["fluid"] = original
+        assert bumped != fluid.spec_digest(1, "")
+        assert PACKET_ENGINE_VERSION  # packet version is a real tag
+
     def test_corrupt_entry_reruns(self, tmp_path):
         cache = tmp_path / "cache"
         runner = SweepRunner(base_seed=5, cache_dir=str(cache))

@@ -82,7 +82,7 @@ def _run_packet(policing, seed=11, duration=60.0):
         {pid: [50000] for pid in net.path_ids},
         seed=seed,
     )
-    return net, sim.run(duration_seconds=duration)
+    return net, sim.run(duration_seconds=duration).measurements
 
 
 def _run_fluid(policing, seed=11, duration=60.0):

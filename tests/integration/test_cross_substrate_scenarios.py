@@ -1,0 +1,121 @@
+"""Cross-substrate scenario consistency: AQM and weighted shaping.
+
+The tentpole claim of the substrate layer: one declarative
+:class:`~repro.substrate.scenario.Scenario` compiles to either
+engine, and the *differentiation families beyond the paper* — class-
+targeted AQM early drop and work-conserving weighted service — drive
+Algorithm 1 to the same verdict on both, with the unsolvability
+score cleanly separated from the neutral baseline (the same
+separation structure the original cross-emulator suite asserts for
+policing).
+
+Durations are short (45 s) and seeds pinned, so these are smoke-
+strength claims: the verdicts and the score *separation*, not
+absolute levels (a per-packet DES and a fluid model realize
+different sample paths).
+"""
+
+import pytest
+
+from repro.experiments.config import EmulationSettings
+from repro.substrate import DifferentiationPolicy, Scenario, run_scenario
+from repro.topology.dumbbell import SHARED_LINK
+
+SETTINGS = EmulationSettings(
+    duration_seconds=45.0, warmup_seconds=5.0, seed=3
+)
+
+SUBSTRATES = ("fluid", "packet")
+
+#: Minimum ratio of a differentiated run's unsolvability over the
+#: neutral baseline's, per substrate.
+MIN_SEPARATION = 3.0
+
+POLICIES = {
+    "aqm": DifferentiationPolicy(mechanism="aqm", rate_fraction=0.25),
+    "weighted": DifferentiationPolicy(
+        mechanism="weighted", rate_fraction=0.25
+    ),
+    # The paper's dual shaper with a shallow (flow-queue-sized)
+    # buffer: at the paper's 0.25 s depth the packet substrate turns
+    # the differentiation into latency instead of loss (documented in
+    # EXPERIMENTS.md), so the cross-substrate claim is made at 0.05 s.
+    "shaping": DifferentiationPolicy(
+        mechanism="shaping", rate_fraction=0.25, buffer_seconds=0.05
+    ),
+}
+
+
+def _score(outcome) -> float:
+    return outcome.algorithm.scores.get((SHARED_LINK,), 0.0)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    """Every (policy, substrate) outcome plus the neutral baselines."""
+    runs = {}
+    for sub in SUBSTRATES:
+        runs[("neutral", sub)] = run_scenario(
+            Scenario(
+                name=f"neutral-{sub}",
+                policy=None,
+                substrate=sub,
+                settings=SETTINGS,
+            )
+        )
+        for pname, policy in POLICIES.items():
+            runs[(pname, sub)] = run_scenario(
+                Scenario(
+                    name=f"{pname}-{sub}",
+                    policy=policy,
+                    substrate=sub,
+                    settings=SETTINGS,
+                )
+            )
+    return runs
+
+
+class TestCrossSubstrateScenarios:
+    @pytest.mark.parametrize("substrate", SUBSTRATES)
+    def test_neutral_not_flagged(self, outcomes, substrate):
+        outcome = outcomes[("neutral", substrate)]
+        assert not outcome.verdict_non_neutral, outcome.algorithm.scores
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @pytest.mark.parametrize("substrate", SUBSTRATES)
+    def test_differentiation_flagged_on_both(
+        self, outcomes, policy, substrate
+    ):
+        outcome = outcomes[(policy, substrate)]
+        assert outcome.verdict_non_neutral, (
+            policy,
+            substrate,
+            outcome.algorithm.scores,
+        )
+        assert any(
+            SHARED_LINK in sigma for sigma in outcome.algorithm.identified
+        ), (policy, substrate, outcome.algorithm.identified)
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @pytest.mark.parametrize("substrate", SUBSTRATES)
+    def test_scores_separate_from_neutral(
+        self, outcomes, policy, substrate
+    ):
+        """The paper's actual signal — unsolvability separation —
+        survives both the mechanism change and the substrate change."""
+        diff = _score(outcomes[(policy, substrate)])
+        neutral = _score(outcomes[("neutral", substrate)])
+        assert diff > MIN_SEPARATION * max(neutral, 1e-4), (
+            policy,
+            substrate,
+            diff,
+            neutral,
+        )
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_quality_clean_on_both(self, outcomes, policy):
+        for sub in SUBSTRATES:
+            q = outcomes[(policy, sub)].quality
+            assert q is not None
+            assert q.false_negative_rate == 0.0, (policy, sub)
+            assert q.false_positive_rate == 0.0, (policy, sub)

@@ -49,7 +49,7 @@ def _run_pipeline(policer_rate, seed=11, duration=20.0):
         {pid: [50000] for pid in net.path_ids},
         seed=seed,
     )
-    data = sim.run(duration_seconds=duration)
+    data = sim.run(duration_seconds=duration).measurements
     fam = required_pathsets(net)
     obs = pathset_performance_numbers(data, fam)
     return identify_non_neutral(net, obs)

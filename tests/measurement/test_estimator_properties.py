@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the estimator diagnostics.
+
+Executable invariants of the delta-method machinery in
+:mod:`repro.measurement.estimator`:
+
+* variances are always nonnegative and finite, for any observation
+  vector and interval count;
+* variance scales as 1/T: more intervals can only tighten an
+  estimate;
+* the noise-normalized spread grows like √T for fixed observations
+  (spread fixed, pooled SE ∝ 1/√T);
+* diagnostics are consistent: the reported spread is the max−min of
+  the clamped pair estimates, standard errors are the square roots
+  of the pair variances.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.network import Network, Path
+from repro.core.slices import build_slice_system, shared_sequences
+from repro.exceptions import MeasurementError
+from repro.measurement.estimator import diagnose_system, estimate_variance
+
+#: y = −log(P̂) observations: P̂ in (~0.005, 1] keeps y in [0, ~5.3].
+Y_VALUES = st.floats(min_value=0.0, max_value=5.3)
+
+
+def _dumbbell_system():
+    """The single-shared-link slice system of a 4-path dumbbell."""
+    paths = [
+        Path(f"p{i}", (f"a{i}", "shared", f"e{i}")) for i in range(1, 5)
+    ]
+    links = (
+        [f"a{i}" for i in range(1, 5)]
+        + ["shared"]
+        + [f"e{i}" for i in range(1, 5)]
+    )
+    net = Network(links, paths)
+    ((sigma, pairs),) = shared_sequences(net).items()
+    return net, build_slice_system(net, sigma, pairs)
+
+
+NET, SYSTEM = _dumbbell_system()
+PAIRS = sorted(SYSTEM.pair_estimates(
+    {ps: 0.0 for fam in [SYSTEM.family] for ps in fam}
+))
+
+
+def _observations(ys):
+    """Build the observation dict the system's pairs consume."""
+    obs = {}
+    values = iter(ys)
+    for ps in sorted(SYSTEM.family, key=sorted):
+        obs[ps] = next(values)
+    return obs
+
+
+NUM_OBSERVATIONS = len(SYSTEM.family)
+
+
+class TestVarianceProperties:
+    @given(
+        ys=st.lists(
+            Y_VALUES, min_size=NUM_OBSERVATIONS, max_size=NUM_OBSERVATIONS
+        ),
+        intervals=st.integers(min_value=1, max_value=100_000),
+    )
+    @settings(max_examples=150)
+    def test_nonnegative_and_finite(self, ys, intervals):
+        obs = _observations(ys)
+        for pair in PAIRS:
+            var = estimate_variance(obs, pair, intervals)
+            assert var >= 0.0
+            assert math.isfinite(var)
+
+    @given(
+        ys=st.lists(
+            Y_VALUES, min_size=NUM_OBSERVATIONS, max_size=NUM_OBSERVATIONS
+        ),
+        intervals=st.integers(min_value=1, max_value=10_000),
+        factor=st.integers(min_value=2, max_value=50),
+    )
+    @settings(max_examples=100)
+    def test_variance_scales_inversely_with_intervals(
+        self, ys, intervals, factor
+    ):
+        obs = _observations(ys)
+        for pair in PAIRS:
+            v1 = estimate_variance(obs, pair, intervals)
+            v2 = estimate_variance(obs, pair, intervals * factor)
+            assert v2 <= v1 + 1e-12
+            if v1 > 0:
+                assert v2 == pytest.approx(v1 / factor, rel=1e-9)
+
+    def test_nonpositive_intervals_rejected(self):
+        obs = _observations([0.1] * NUM_OBSERVATIONS)
+        with pytest.raises(MeasurementError):
+            estimate_variance(obs, PAIRS[0], 0)
+
+
+class TestDiagnosticsProperties:
+    @given(
+        ys=st.lists(
+            Y_VALUES, min_size=NUM_OBSERVATIONS, max_size=NUM_OBSERVATIONS
+        ),
+        intervals=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=100)
+    def test_internally_consistent(self, ys, intervals):
+        obs = _observations(ys)
+        diag = diagnose_system(SYSTEM, obs, intervals)
+        clamped = [max(v, 0.0) for v in diag.estimates.values()]
+        expected_spread = (
+            max(clamped) - min(clamped) if len(clamped) > 1 else 0.0
+        )
+        assert diag.spread == pytest.approx(expected_spread)
+        assert diag.spread >= 0.0
+        assert diag.normalized_spread >= 0.0
+        for pair, se in diag.standard_errors.items():
+            assert se == pytest.approx(
+                math.sqrt(estimate_variance(obs, pair, intervals))
+            )
+
+    @given(
+        ys=st.lists(
+            Y_VALUES.filter(lambda y: y > 0.05),
+            min_size=NUM_OBSERVATIONS,
+            max_size=NUM_OBSERVATIONS,
+        ),
+        intervals=st.integers(min_value=10, max_value=1_000),
+        factor=st.integers(min_value=4, max_value=100),
+    )
+    @settings(max_examples=100)
+    def test_normalized_spread_grows_like_sqrt_T(
+        self, ys, intervals, factor
+    ):
+        """With observations fixed, the raw spread is constant while
+        the pooled SE shrinks as 1/√T — so the t-like statistic must
+        scale exactly as √factor whenever the spread is nonzero."""
+        obs = _observations(ys)
+        d1 = diagnose_system(SYSTEM, obs, intervals)
+        d2 = diagnose_system(SYSTEM, obs, intervals * factor)
+        assert d2.spread == pytest.approx(d1.spread)
+        if d1.spread > 1e-9:
+            assert d2.normalized_spread == pytest.approx(
+                d1.normalized_spread * math.sqrt(factor), rel=1e-6
+            )
+        else:
+            assert d2.normalized_spread <= 1e-3

@@ -1,0 +1,141 @@
+"""Unified link-spec validation and per-substrate compilation.
+
+The shared compiler (:mod:`repro.substrate.spec`) is the single
+validation point for link configuration: every mechanism combination
+that one substrate rejects must be rejected for all of them, with
+:class:`ReproError` subclasses raised consistently.
+"""
+
+import pytest
+
+from repro.emulator.specs import PacketLinkSpec
+from repro.exceptions import ConfigurationError, ReproError
+from repro.fluid.params import (
+    AqmSpec,
+    FluidLinkSpec,
+    PolicerSpec,
+    ShaperSpec,
+    WeightedShaperSpec,
+)
+from repro.substrate.spec import (
+    LinkSpec,
+    from_fluid,
+    normalize_specs,
+    to_fluid,
+    to_packet,
+)
+
+POLICER = PolicerSpec(target_class="c2", rate_fraction=0.3)
+SHAPER = ShaperSpec(target_class="c2", rate_fraction=0.3)
+AQM = AqmSpec(target_class="c2")
+WEIGHTED = WeightedShaperSpec(target_class="c2", weight=0.3)
+
+#: Every pair of distinct mechanisms, as LinkSpec kwargs.
+_MECH_KWARGS = {
+    "policer": POLICER,
+    "shaper": SHAPER,
+    "aqm": AQM,
+    "weighted": WEIGHTED,
+}
+MECH_PAIRS = [
+    {a: _MECH_KWARGS[a], b: _MECH_KWARGS[b]}
+    for i, a in enumerate(_MECH_KWARGS)
+    for b in list(_MECH_KWARGS)[i + 1:]
+]
+
+
+class TestSharedValidation:
+    @pytest.mark.parametrize("pair", MECH_PAIRS, ids=lambda p: "+".join(p))
+    def test_linkspec_rejects_mechanism_combos(self, pair):
+        with pytest.raises(ConfigurationError):
+            LinkSpec(**pair)
+
+    @pytest.mark.parametrize("pair", MECH_PAIRS, ids=lambda p: "+".join(p))
+    def test_fluid_spec_rejects_mechanism_combos(self, pair):
+        with pytest.raises(ConfigurationError):
+            FluidLinkSpec(**pair)
+
+    def test_packet_spec_rejects_policer_shaper_combo(self):
+        """Satellite regression: the seed PacketLinkSpec accepted
+        mechanism combinations the fluid spec rejects."""
+        with pytest.raises(ConfigurationError):
+            PacketLinkSpec(
+                policer_rate_pps=100.0,
+                policed_class="c2",
+                shaper=SHAPER,
+            )
+
+    @pytest.mark.parametrize(
+        "mech_a,mech_b",
+        [("shaper", "aqm"), ("shaper", "weighted"), ("aqm", "weighted")],
+    )
+    def test_packet_spec_rejects_other_combos(self, mech_a, mech_b):
+        with pytest.raises(ConfigurationError):
+            PacketLinkSpec(
+                **{mech_a: _MECH_KWARGS[mech_a],
+                   mech_b: _MECH_KWARGS[mech_b]}
+            )
+
+    def test_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            LinkSpec(capacity_mbps=-1)
+        with pytest.raises(ReproError):
+            LinkSpec(buffer_seconds=0)
+        with pytest.raises(ReproError):
+            LinkSpec(delay_seconds=-0.001)
+
+    def test_single_mechanism_accepted_everywhere(self):
+        for name, mech in _MECH_KWARGS.items():
+            spec = LinkSpec(**{name: mech})
+            assert spec.is_differentiating
+            assert to_fluid(spec).is_differentiating
+            assert to_packet(spec).is_differentiating
+
+
+class TestCompilation:
+    def test_fluid_roundtrip_preserves_fields(self):
+        fluid = FluidLinkSpec(
+            capacity_mbps=50.0, buffer_rtt_seconds=0.1, aqm=AQM
+        )
+        back = to_fluid(from_fluid(fluid))
+        assert back == fluid
+
+    def test_to_packet_units(self):
+        spec = LinkSpec(
+            capacity_mbps=12.0,  # = 1000 packets/second at 1500 B
+            buffer_seconds=0.1,
+            delay_seconds=0.004,
+            policer=POLICER,
+        )
+        pkt = to_packet(spec)
+        assert pkt.rate_pps == pytest.approx(1000.0)
+        assert pkt.queue_packets == 100
+        assert pkt.delay_seconds == 0.004
+        assert pkt.policer_rate_pps == pytest.approx(300.0)
+        assert pkt.policed_class == "c2"
+        # Bucket depth: burst_seconds at the policing rate.
+        assert pkt.policer_bucket == pytest.approx(
+            POLICER.burst_seconds * 300.0
+        )
+
+    def test_to_packet_passes_shared_mechanisms_through(self):
+        for field, mech in (
+            ("shaper", SHAPER), ("aqm", AQM), ("weighted", WEIGHTED)
+        ):
+            pkt = to_packet(LinkSpec(**{field: mech}))
+            assert getattr(pkt, field) is mech
+
+    def test_normalize_accepts_mixed_and_validates(self):
+        out = normalize_specs(
+            {
+                "l1": LinkSpec(capacity_mbps=10.0),
+                "l2": FluidLinkSpec(capacity_mbps=20.0, shaper=SHAPER),
+            }
+        )
+        assert set(out) == {"l1", "l2"}
+        assert all(isinstance(s, LinkSpec) for s in out.values())
+        assert out["l2"].shaper == SHAPER
+
+    def test_normalize_rejects_unknown_types(self):
+        with pytest.raises(ConfigurationError):
+            normalize_specs({"l1": object()})

@@ -29,10 +29,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.network import LinkSeq, Network
 from repro.core.pathsets import PathSet
 from repro.core.performance import NetworkPerformance
-from repro.core.slices import SliceSystem, build_slice_system, shared_sequences
+from repro.core.slices import (
+    SliceSystem,
+    batch_unsolvability,
+    build_slice_batch,
+)
 
 #: A decider maps {σ: unsolvability score} to {σ: is_unsolvable}.
 Decider = Callable[[Mapping[LinkSeq, float]], Mapping[LinkSeq, bool]]
@@ -78,15 +84,8 @@ def _candidate_systems(
     net: Network, min_pathsets: int
 ) -> Tuple[Dict[LinkSeq, SliceSystem], List[LinkSeq]]:
     """Lines 2–12: candidate systems and the skipped sequences."""
-    systems: Dict[LinkSeq, SliceSystem] = {}
-    skipped: List[LinkSeq] = []
-    for sigma, pairs in sorted(shared_sequences(net).items()):
-        system = build_slice_system(net, sigma, pairs)
-        if system is None or system.num_pathsets < min_pathsets:
-            skipped.append(sigma)
-            continue
-        systems[sigma] = system
-    return systems, skipped
+    batch, skipped = build_slice_batch(net, min_pathsets)
+    return batch.systems_dict(), list(skipped)
 
 
 def remove_redundant(
@@ -101,26 +100,53 @@ def remove_redundant(
     sets, in one pass: if σ_b in σ_a's decomposition is itself
     redundant, σ_b's own decomposition substitutes transitively, so
     iterating cannot remove more.
+
+    Each sequence is encoded as a bitmask over the union link
+    universe; subset tests, the candidate union, and the
+    has-identified check are then array operations per identified
+    sequence rather than nested set loops.
     """
+    identified = tuple(identified)
+    examined = tuple(examined)
+    if not identified:
+        return ()
+    universe = sorted(
+        {lid for sigma in examined for lid in sigma}
+        | {lid for sigma in identified for lid in sigma}
+    )
+    link_pos = {lid: k for k, lid in enumerate(universe)}
+
+    def bits(sigma: LinkSeq) -> np.ndarray:
+        mask = np.zeros(len(universe), dtype=bool)
+        for lid in sigma:
+            mask[link_pos[lid]] = True
+        return mask
+
+    examined_bits = (
+        np.stack([bits(sigma) for sigma in examined])
+        if examined
+        else np.zeros((0, len(universe)), dtype=bool)
+    )
     identified_set = set(identified)
-    examined_set = set(examined)
+    is_identified = np.array(
+        [sigma in identified_set for sigma in examined], dtype=bool
+    )
+
     kept: List[LinkSeq] = []
     for sigma in identified:
-        target = set(sigma)
-        candidates = [
-            other
-            for other in examined_set
-            if other != sigma and set(other) <= target
-        ]
-        union = set()
-        has_identified = False
-        for other in candidates:
-            union.update(other)
-            if other in identified_set:
-                has_identified = True
-        if union == target and has_identified:
-            continue  # redundant
-        kept.append(sigma)
+        target = bits(sigma)
+        is_subset = ~(examined_bits & ~target).any(axis=1)
+        is_self = (examined_bits == target).all(axis=1)
+        candidates = is_subset & ~is_self
+        redundant = (
+            candidates.any()
+            and bool((candidates & is_identified).any())
+            and bool(
+                (examined_bits[candidates].any(axis=0) == target).all()
+            )
+        )
+        if not redundant:
+            kept.append(sigma)
     return tuple(kept)
 
 
@@ -146,24 +172,44 @@ def identify_non_neutral(
     Returns:
         The :class:`AlgorithmResult`.
     """
+    batch, skipped = build_slice_batch(net, min_pathsets)
+    score_array = batch_unsolvability(batch, observations)
+    scores: Dict[LinkSeq, float] = {
+        sigma: float(score)
+        for sigma, score in zip(batch.sigmas, score_array)
+    }
+    return identify_from_scores(
+        batch, skipped, scores, decider, prune_redundant
+    )
+
+
+def identify_from_scores(
+    batch,
+    skipped: Tuple[LinkSeq, ...],
+    scores: Mapping[LinkSeq, float],
+    decider: Optional[Decider] = None,
+    prune_redundant: bool = True,
+) -> AlgorithmResult:
+    """Lines 13+ of Algorithm 1: decide and prune from scores.
+
+    Shared tail of :func:`identify_non_neutral` and the runner's
+    array route (:func:`repro.experiments.runner.
+    infer_from_measurements`), which computes the scores without a
+    pathset dict round-trip.
+    """
     if decider is None:
         from repro.measurement.clustering import cluster_decider
 
         decider = cluster_decider
-    systems, skipped = _candidate_systems(net, min_pathsets)
-    scores: Dict[LinkSeq, float] = {
-        sigma: system.unsolvability(observations)
-        for sigma, system in systems.items()
-    }
     verdict = decider(scores)
     identified_raw = tuple(
-        sigma for sigma in systems if verdict.get(sigma, False)
+        sigma for sigma in batch.sigmas if verdict.get(sigma, False)
     )
     neutral = tuple(
-        sigma for sigma in systems if not verdict.get(sigma, False)
+        sigma for sigma in batch.sigmas if not verdict.get(sigma, False)
     )
     identified = (
-        remove_redundant(identified_raw, tuple(systems))
+        remove_redundant(identified_raw, batch.sigmas)
         if prune_redundant
         else identified_raw
     )
@@ -172,8 +218,8 @@ def identify_non_neutral(
         identified_raw=identified_raw,
         neutral=neutral,
         skipped=tuple(skipped),
-        scores=scores,
-        systems=systems,
+        scores=dict(scores),
+        systems=batch.systems_dict(),
     )
 
 
@@ -189,24 +235,32 @@ def identify_non_neutral_exact(
     enters: with exact observations it suffers zero false positives
     and misses exactly the non-identifiable violations.
     """
+    from repro.core.equivalent import build_equivalent  # local: avoid cycle
+
     net = perf.network
-    systems, skipped = _candidate_systems(net, min_pathsets)
+    batch, skipped = build_slice_batch(net, min_pathsets)
+    # One equivalent-network build serves every pathset (the naive
+    # form rebuilt it per observation).
+    equivalent = build_equivalent(perf)
     observations: Dict[PathSet, float] = {}
-    for system in systems.values():
+    for system in batch.systems:
         for ps in system.family:
             if ps not in observations:
-                observations[ps] = perf.pathset_performance(ps)
-    scores: Dict[LinkSeq, float] = {}
+                observations[ps] = equivalent.pathset_performance(ps)
+    score_array = batch_unsolvability(batch, observations)
+    scores: Dict[LinkSeq, float] = {
+        sigma: float(score)
+        for sigma, score in zip(batch.sigmas, score_array)
+    }
     identified_raw: List[LinkSeq] = []
     neutral: List[LinkSeq] = []
-    for sigma, system in systems.items():
-        scores[sigma] = system.unsolvability(observations)
+    for sigma, system in zip(batch.sigmas, batch.systems):
         if system.is_solvable_exact(observations, tol=tol):
             neutral.append(sigma)
         else:
             identified_raw.append(sigma)
     identified = (
-        remove_redundant(identified_raw, tuple(systems))
+        remove_redundant(identified_raw, batch.sigmas)
         if prune_redundant
         else tuple(identified_raw)
     )
@@ -214,9 +268,9 @@ def identify_non_neutral_exact(
         identified=tuple(identified),
         identified_raw=tuple(identified_raw),
         neutral=tuple(neutral),
-        skipped=tuple(skipped),
+        skipped=skipped,
         scores=scores,
-        systems=systems,
+        systems=batch.systems_dict(),
     )
 
 

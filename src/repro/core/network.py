@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import (
     InvalidPathError,
     ModelError,
@@ -118,6 +120,77 @@ class Path:
         return frozenset(self.links)
 
 
+@dataclass(frozen=True)
+class PathIndex:
+    """Integer-indexed registry of a network's paths and links.
+
+    The inference layer's batched algorithms work on this instead of
+    frozensets and dicts: every path and link gets a stable integer
+    position (sorted-id order, matching :attr:`Network.path_ids` /
+    :attr:`Network.link_ids`), and the path×link structure is exposed
+    as one boolean incidence matrix. ``incidence[i, k]`` is True when
+    path ``path_ids[i]`` traverses link ``link_ids[k]``; a row is the
+    paper's ``Links(p_i)``, a column is ``Paths(l_k)``, and a row-pair
+    AND is the shared sequence ``σ`` of Algorithm 1.
+
+    Attributes:
+        path_ids: Paths in index order (sorted ids).
+        link_ids: Links in index order (sorted ids).
+        incidence: Read-only ``(|P|, |L|)`` boolean matrix.
+        path_pos: ``{path_id: row}``.
+        link_pos: ``{link_id: column}``.
+    """
+
+    path_ids: Tuple[str, ...]
+    link_ids: Tuple[str, ...]
+    incidence: np.ndarray
+    path_pos: Mapping[str, int]
+    link_pos: Mapping[str, int]
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.path_ids)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.link_ids)
+
+    def rows(self, path_ids: Iterable[str]) -> np.ndarray:
+        """Row indices of the given paths, in argument order.
+
+        Raises:
+            UnknownPathError: On an id that is not indexed.
+        """
+        try:
+            return np.array(
+                [self.path_pos[pid] for pid in path_ids], dtype=np.intp
+            )
+        except KeyError as exc:
+            raise UnknownPathError(str(exc.args[0])) from None
+
+    def link_mask(self, links: Iterable[str]) -> np.ndarray:
+        """Boolean ``(|L|,)`` mask of the given links.
+
+        Raises:
+            UnknownLinkError: On an id that is not indexed.
+        """
+        mask = np.zeros(len(self.link_ids), dtype=bool)
+        for lid in links:
+            try:
+                mask[self.link_pos[lid]] = True
+            except KeyError:
+                raise UnknownLinkError(lid) from None
+        return mask
+
+    def linkseq_from_mask(self, mask: np.ndarray) -> LinkSeq:
+        """Decode a boolean link mask into a canonical :data:`LinkSeq`.
+
+        Link ids are index-ordered (sorted), so the result is already
+        canonical.
+        """
+        return tuple(self.link_ids[k] for k in np.flatnonzero(mask))
+
+
 class Network:
     """The network tuple ``G = (V, L, P)``.
 
@@ -178,6 +251,34 @@ class Network:
             )
             for link_id in self._links
         }
+
+        # Lazy derived structures (the graph is immutable): the
+        # integer-indexed registry, plus memoized batched-inference
+        # artifacts keyed by the layer that builds them (see
+        # repro.core.slices).
+        self._path_index: Optional[PathIndex] = None
+        self._inference_cache: Dict[object, object] = {}
+
+    @property
+    def path_index(self) -> PathIndex:
+        """The :class:`PathIndex` registry (built once, cached)."""
+        if self._path_index is None:
+            path_ids = self.path_ids
+            link_ids = self.link_ids
+            link_pos = {lid: k for k, lid in enumerate(link_ids)}
+            incidence = np.zeros((len(path_ids), len(link_ids)), dtype=bool)
+            for i, pid in enumerate(path_ids):
+                for lid in self._paths[pid].links:
+                    incidence[i, link_pos[lid]] = True
+            incidence.setflags(write=False)
+            self._path_index = PathIndex(
+                path_ids=path_ids,
+                link_ids=link_ids,
+                incidence=incidence,
+                path_pos={pid: i for i, pid in enumerate(path_ids)},
+                link_pos=link_pos,
+            )
+        return self._path_index
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -315,6 +416,15 @@ class Network:
             used_links.update(p.links)
         links = [self._links[lid] for lid in sorted(used_links)]
         return Network(links, paths)
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop derived caches when pickling (sweep results embed the
+        inference network; the index and slice batches are cheap to
+        rebuild and would bloat the on-disk cache)."""
+        state = self.__dict__.copy()
+        state["_path_index"] = None
+        state["_inference_cache"] = {}
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

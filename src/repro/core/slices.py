@@ -17,17 +17,26 @@ Each path pair then pins σ's cost independently:
 cancel. If different pairs disagree, System 4 is unsolvable and σ is
 non-neutral (Lemma 2). The spread of the per-pair estimates is the
 *unsolvability score* the practical algorithm clusters on (§6.2).
+
+Since the indexed rewrite (DESIGN.md S17) the hot path is batched
+numpy over the :class:`~repro.core.network.PathIndex` registry: all
+path pairs are grouped by shared-link signature with incidence-row
+ANDs and row hashing (:func:`shared_sequences`,
+:func:`build_slice_batch`), and all candidate systems are scored at
+once with one flat ``y_a + y_b − y_ab`` gather
+(:func:`batch_unsolvability`). The pre-rewrite per-pair/per-dict
+implementation is frozen in :mod:`repro.core.algorithm_reference`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.linear import is_solvable
-from repro.core.network import LinkSeq, Network, make_linkseq
+from repro.core.network import LinkSeq, Network, PathIndex, make_linkseq
 from repro.core.pathsets import PathSet, PathSetFamily
 from repro.exceptions import SliceError
 
@@ -122,34 +131,202 @@ class SliceSystem:
         return is_solvable(self.matrix, y, tol=tol)
 
 
+@dataclass(frozen=True)
+class _PairGroups:
+    """σ-sorted grouping of all sharing path pairs (memoized per net).
+
+    Attributes:
+        sigmas: All shared sequences, sorted.
+        sigma_masks: ``(n_sigmas, |L|)`` boolean link masks, aligned.
+        pair_a / pair_b: Flat path-row arrays of every sharing pair,
+            grouped by sequence; within a group pairs keep the
+            row-major ``(i < j)`` enumeration order of
+            :meth:`Network.path_pairs`.
+        offsets: ``(n_sigmas + 1,)`` group boundaries into the flat
+            pair arrays.
+        group_of: ``{σ: group position}``.
+    """
+
+    sigmas: Tuple[LinkSeq, ...]
+    sigma_masks: np.ndarray
+    pair_a: np.ndarray
+    pair_b: np.ndarray
+    offsets: np.ndarray
+    group_of: Mapping[LinkSeq, int]
+
+    def group(self, g: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.offsets[g], self.offsets[g + 1]
+        return self.pair_a[lo:hi], self.pair_b[lo:hi]
+
+
+def _pair_groups(net: Network) -> _PairGroups:
+    """Lines 2–8 of Algorithm 1, batched over the incidence matrix.
+
+    All unordered path pairs are formed at once (``triu`` indices),
+    their shared sequences computed as incidence-row ANDs, and the
+    pairs grouped by signature via bit-packed row hashing — no
+    per-pair ``frozenset`` intersection. Memoized on the (immutable)
+    network.
+    """
+    cached = net._inference_cache.get("pair_groups")
+    if cached is not None:
+        return cached
+
+    index = net.path_index
+    num_paths = index.num_paths
+    empty = _PairGroups(
+        sigmas=(),
+        sigma_masks=np.zeros((0, index.num_links), dtype=bool),
+        pair_a=np.zeros(0, dtype=np.intp),
+        pair_b=np.zeros(0, dtype=np.intp),
+        offsets=np.zeros(1, dtype=np.intp),
+        group_of={},
+    )
+    if num_paths < 2 or index.num_links == 0:
+        net._inference_cache["pair_groups"] = empty
+        return empty
+
+    ia, ib = np.triu_indices(num_paths, k=1)
+    shared = index.incidence[ia] & index.incidence[ib]
+    nonempty = shared.any(axis=1)
+    if not nonempty.any():
+        net._inference_cache["pair_groups"] = empty
+        return empty
+    ia, ib, shared = ia[nonempty], ib[nonempty], shared[nonempty]
+
+    # Hash each pair's shared-link row into packed uint64 words and
+    # group equal signatures with one lexsort (much faster than
+    # comparison-sorting raw byte rows).
+    packed = np.packbits(shared, axis=1)
+    pad = (-packed.shape[1]) % 8
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    words = packed.view(np.uint64)
+    order = np.lexsort(words.T[::-1])
+    sorted_words = words[order]
+    new_group = np.empty(order.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (sorted_words[1:] != sorted_words[:-1]).any(axis=1)
+    group_id_sorted = np.cumsum(new_group) - 1
+    inverse = np.empty(order.size, dtype=np.intp)
+    inverse[order] = group_id_sorted
+    representatives = order[new_group]
+    masks = shared[representatives]
+    sigmas = [index.linkseq_from_mask(mask) for mask in masks]
+
+    # Reorder groups by canonical sequence order; keep row-major pair
+    # order within each group (stable sort on group id).
+    sigma_order = sorted(range(len(sigmas)), key=lambda g: sigmas[g])
+    rank = np.empty(len(sigmas), dtype=np.intp)
+    rank[sigma_order] = np.arange(len(sigmas))
+    by_group = np.argsort(rank[inverse], kind="stable")
+    counts = np.bincount(rank[inverse], minlength=len(sigmas))
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.intp), np.cumsum(counts, dtype=np.intp)]
+    )
+    sorted_sigmas = tuple(sigmas[g] for g in sigma_order)
+    groups = _PairGroups(
+        sigmas=sorted_sigmas,
+        sigma_masks=masks[sigma_order],
+        pair_a=ia[by_group],
+        pair_b=ib[by_group],
+        offsets=offsets,
+        group_of={s: g for g, s in enumerate(sorted_sigmas)},
+    )
+    net._inference_cache["pair_groups"] = groups
+    return groups
+
+
 def shared_sequences(net: Network) -> Dict[LinkSeq, List[Tuple[str, str]]]:
     """Group all path pairs by their shared link sequence.
 
     This is lines 2–8 of Algorithm 1: for every unordered path pair,
     compute ``σ = Links(p_i) ∩ Links(p_j)`` and bucket the pair under
     σ. Pairs sharing no link (σ empty) are dropped — they say nothing
-    about any sequence.
+    about any sequence. Computed in one batched pass over the
+    incidence matrix (see :func:`_pair_groups`).
 
     Returns:
-        ``{σ: [pairs]}`` with deterministic pair order.
+        ``{σ: [pairs]}`` in sorted-σ order, with deterministic
+        (row-major) pair order within each bucket.
     """
-    buckets: Dict[LinkSeq, List[Tuple[str, str]]] = {}
-    for pa, pb in net.path_pairs():
-        sigma = net.shared_links(pa, pb)
-        if not sigma:
-            continue
-        buckets.setdefault(sigma, []).append((pa, pb))
-    return buckets
+    groups = _pair_groups(net)
+    path_ids = net.path_index.path_ids
+    out: Dict[LinkSeq, List[Tuple[str, str]]] = {}
+    for g, sigma in enumerate(groups.sigmas):
+        ga, gb = groups.group(g)
+        out[sigma] = [
+            (path_ids[i], path_ids[j])
+            for i, j in zip(ga.tolist(), gb.tolist())
+        ]
+    return out
 
 
 def pairs_for_sequence(net: Network, sigma: LinkSeq) -> List[Tuple[str, str]]:
     """All path pairs whose shared links are exactly σ."""
-    target = make_linkseq(sigma)
+    groups = _pair_groups(net)
+    g = groups.group_of.get(make_linkseq(sigma))
+    if g is None:
+        return []
+    path_ids = net.path_index.path_ids
+    ga, gb = groups.group(g)
     return [
-        (pa, pb)
-        for pa, pb in net.path_pairs()
-        if net.shared_links(pa, pb) == target
+        (path_ids[i], path_ids[j])
+        for i, j in zip(ga.tolist(), gb.tolist())
     ]
+
+
+def _make_system(
+    index: PathIndex,
+    sigma: LinkSeq,
+    sigma_mask: np.ndarray,
+    rows: np.ndarray,
+    la: np.ndarray,
+    lb: np.ndarray,
+    pair_list: List[Tuple[str, str]],
+    singleton_pathsets: Sequence[PathSet],
+) -> SliceSystem:
+    """Assemble one :class:`SliceSystem` from index arrays.
+
+    ``rows`` are the member paths' (sorted) index rows, ``la``/``lb``
+    each pair's local positions within ``rows``. The matrix is filled
+    with vectorized scatter writes: singleton rows carry σ plus the
+    path's remainder column (when non-empty), pair rows carry σ plus
+    both remainders.
+    """
+    path_ids = tuple(map(index.path_ids.__getitem__, rows.tolist()))
+    rem_any = (index.incidence[rows] & ~sigma_mask).any(axis=1)
+    columns = (SIGMA_COLUMN,) + tuple(
+        pid
+        for pid, has_rem in zip(path_ids, rem_any.tolist())
+        if has_rem
+    )
+    local_col = np.full(rows.size, -1, dtype=np.intp)
+    local_col[rem_any] = 1 + np.arange(int(rem_any.sum()), dtype=np.intp)
+
+    num_rows = rows.size + len(pair_list)
+    matrix = np.zeros((num_rows, len(columns)), dtype=float)
+    matrix[:, 0] = 1.0  # every pathset here traverses σ
+    singleton_rows = np.flatnonzero(rem_any)
+    matrix[singleton_rows, local_col[singleton_rows]] = 1.0
+    pair_rows = rows.size + np.arange(len(pair_list), dtype=np.intp)
+    has_a = rem_any[la]
+    matrix[pair_rows[has_a], local_col[la[has_a]]] = 1.0
+    has_b = rem_any[lb]
+    matrix[pair_rows[has_b], local_col[lb[has_b]]] = 1.0
+
+    family: Tuple[PathSet, ...] = tuple(
+        map(singleton_pathsets.__getitem__, rows.tolist())
+    ) + tuple(map(frozenset, pair_list))
+
+    return SliceSystem(
+        sigma=sigma,
+        paths=path_ids,
+        pairs=tuple(pair_list),
+        family=family,
+        matrix=matrix,
+        columns=columns,
+    )
 
 
 def build_slice_system(
@@ -173,39 +350,319 @@ def build_slice_system(
     sigma = make_linkseq(sigma)
     if not sigma:
         raise SliceError("sigma may not be empty")
-    pair_list = list(pairs) if pairs is not None else pairs_for_sequence(net, sigma)
+    pair_list = (
+        list(pairs) if pairs is not None else pairs_for_sequence(net, sigma)
+    )
     if not pair_list:
         return None
-
-    path_ids: List[str] = sorted({p for pair in pair_list for p in pair})
-    sigma_set = set(sigma)
-    remainders: Dict[str, frozenset] = {
-        pid: frozenset(net.links_of(pid) - sigma_set) for pid in path_ids
-    }
-    columns: List[str] = [SIGMA_COLUMN] + [
-        pid for pid in path_ids if remainders[pid]
-    ]
-    col_index = {label: j for j, label in enumerate(columns)}
-
-    family: List[PathSet] = [frozenset([pid]) for pid in path_ids]
-    family += [frozenset(pair) for pair in pair_list]
-
-    matrix = np.zeros((len(family), len(columns)), dtype=float)
-    for i, ps in enumerate(family):
-        matrix[i, 0] = 1.0  # every pathset here traverses σ
-        for pid in ps:
-            j = col_index.get(pid)
-            if j is not None:
-                matrix[i, j] = 1.0
-
-    return SliceSystem(
-        sigma=sigma,
-        paths=tuple(path_ids),
-        pairs=tuple(pair_list),
-        family=tuple(family),
-        matrix=matrix,
-        columns=tuple(columns),
+    index = net.path_index
+    ga = index.rows(pair[0] for pair in pair_list)
+    gb = index.rows(pair[1] for pair in pair_list)
+    rows = np.unique(np.concatenate((ga, gb)))
+    return _make_system(
+        index,
+        sigma,
+        index.link_mask(sigma),
+        rows,
+        np.searchsorted(rows, ga),
+        np.searchsorted(rows, gb),
+        pair_list,
+        _singleton_pathsets(net),
     )
+
+
+def _singleton_pathsets(net: Network) -> Tuple[PathSet, ...]:
+    """Singleton pathsets aligned with the path index (memoized)."""
+    cached = net._inference_cache.get("singleton_pathsets")
+    if cached is None:
+        cached = tuple(
+            frozenset([pid]) for pid in net.path_index.path_ids
+        )
+        net._inference_cache["singleton_pathsets"] = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class SliceSystemBatch:
+    """All candidate System 4s of a network, in flat array form.
+
+    Built once per network and ``min_pathsets`` by
+    :func:`build_slice_batch` and consumed by the batched scoring
+    (:func:`batch_unsolvability`) and the batched normalization
+    (:func:`repro.measurement.normalize.batch_slice_observations`):
+    instead of walking per-system dicts, every pair of every candidate
+    system lives in one flat ``(n_pairs,)`` index array, with
+    ``offsets`` marking system boundaries.
+
+    Attributes:
+        index: The path/link registry.
+        sigmas: Candidate sequences, sorted (σ-sorted system order).
+        systems: The :class:`SliceSystem` per sequence, aligned.
+        pair_a / pair_b: Flat path-row arrays of all systems' pairs.
+        offsets: ``(n_systems + 1,)`` boundaries into the pair arrays.
+        member_rows: Flat member-path rows of all systems (each
+            system's slice sorted ascending — its ``P_σ``).
+        member_offsets: ``(n_systems + 1,)`` boundaries into
+            ``member_rows``.
+    """
+
+    index: PathIndex
+    sigmas: Tuple[LinkSeq, ...]
+    systems: Tuple[SliceSystem, ...]
+    pair_a: np.ndarray
+    pair_b: np.ndarray
+    offsets: np.ndarray
+    member_rows: np.ndarray
+    member_offsets: np.ndarray
+
+    @property
+    def num_systems(self) -> int:
+        return len(self.sigmas)
+
+    @property
+    def num_pairs(self) -> int:
+        return int(self.pair_a.size)
+
+    def systems_dict(self) -> Dict[LinkSeq, SliceSystem]:
+        """``{σ: system}`` in σ-sorted insertion order."""
+        return dict(zip(self.sigmas, self.systems))
+
+    def families(self) -> Iterator[PathSetFamily]:
+        """Each system's pathset family, in system order."""
+        for system in self.systems:
+            yield system.family
+
+
+def build_slice_batch(
+    net: Network, min_pathsets: int
+) -> Tuple[SliceSystemBatch, Tuple[LinkSeq, ...]]:
+    """Lines 2–12 of Algorithm 1, batched.
+
+    Groups all path pairs by shared sequence (one incidence-matrix
+    pass), drops sequences below the pathset threshold, and builds
+    every surviving System 4. Memoized on the network per
+    ``min_pathsets``.
+
+    Returns:
+        ``(batch, skipped)`` — the candidate systems and the
+        sequences with too few pathsets (non-identifiable).
+    """
+    cache_key = ("slice_batch", int(min_pathsets))
+    cached = net._inference_cache.get(cache_key)
+    if cached is not None:
+        return cached
+
+    groups = _pair_groups(net)
+    index = net.path_index
+    path_ids = index.path_ids
+    singletons = _singleton_pathsets(net)
+    num_groups = len(groups.sigmas)
+    total_pairs = int(groups.pair_a.size)
+
+    # Per-group member paths and per-pair local positions, from one
+    # global sort over (group, path-row) keys instead of an np.unique
+    # per group.
+    if total_pairs:
+        group_ids = np.repeat(
+            np.arange(num_groups, dtype=np.intp),
+            np.diff(groups.offsets),
+        )
+        both_groups = np.concatenate((group_ids, group_ids))
+        both_rows = np.concatenate((groups.pair_a, groups.pair_b))
+        key = both_groups * index.num_paths + both_rows
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        first = np.empty(sorted_key.size, dtype=bool)
+        first[0] = True
+        first[1:] = sorted_key[1:] != sorted_key[:-1]
+        unique_rank = np.cumsum(first) - 1
+        member_keys = sorted_key[first]
+        all_member_group = member_keys // index.num_paths
+        all_member_rows = member_keys % index.num_paths
+        all_member_offsets = np.searchsorted(
+            all_member_group, np.arange(num_groups + 1)
+        )
+        elem_rank = np.empty(sorted_key.size, dtype=np.intp)
+        elem_rank[order] = unique_rank
+        local = elem_rank - all_member_offsets[both_groups]
+        la_all = local[:total_pairs]
+        lb_all = local[total_pairs:]
+    else:
+        all_member_rows = np.zeros(0, dtype=np.intp)
+        all_member_offsets = np.zeros(num_groups + 1, dtype=np.intp)
+        la_all = lb_all = np.zeros(0, dtype=np.intp)
+
+    kept: List[int] = []
+    kept_sigmas: List[LinkSeq] = []
+    kept_systems: List[SliceSystem] = []
+    skipped: List[LinkSeq] = []
+    for g, sigma in enumerate(groups.sigmas):
+        lo, hi = groups.offsets[g], groups.offsets[g + 1]
+        mlo, mhi = all_member_offsets[g], all_member_offsets[g + 1]
+        if (mhi - mlo) + (hi - lo) < min_pathsets:
+            skipped.append(sigma)
+            continue
+        ga, gb = groups.pair_a[lo:hi], groups.pair_b[lo:hi]
+        pair_list = [
+            (path_ids[i], path_ids[j])
+            for i, j in zip(ga.tolist(), gb.tolist())
+        ]
+        system = _make_system(
+            index,
+            sigma,
+            groups.sigma_masks[g],
+            all_member_rows[mlo:mhi],
+            la_all[lo:hi],
+            lb_all[lo:hi],
+            pair_list,
+            singletons,
+        )
+        kept.append(g)
+        kept_sigmas.append(sigma)
+        kept_systems.append(system)
+
+    def _concat_segments(flat, offs):
+        if not kept:
+            return np.zeros(0, dtype=np.intp), np.zeros(1, dtype=np.intp)
+        parts = [flat[offs[g]:offs[g + 1]] for g in kept]
+        sizes = np.array([p.size for p in parts], dtype=np.intp)
+        return (
+            np.concatenate(parts),
+            np.concatenate(
+                [np.zeros(1, dtype=np.intp), np.cumsum(sizes, dtype=np.intp)]
+            ),
+        )
+
+    pair_a, offsets = _concat_segments(groups.pair_a, groups.offsets)
+    pair_b, _ = _concat_segments(groups.pair_b, groups.offsets)
+    member_rows, member_offsets = _concat_segments(
+        all_member_rows, all_member_offsets
+    )
+    batch = SliceSystemBatch(
+        index=index,
+        sigmas=tuple(kept_sigmas),
+        systems=tuple(kept_systems),
+        pair_a=pair_a,
+        pair_b=pair_b,
+        offsets=offsets,
+        member_rows=member_rows,
+        member_offsets=member_offsets,
+    )
+    result = (batch, tuple(skipped))
+    net._inference_cache[cache_key] = result
+    return result
+
+
+def _observation_arrays(
+    batch: SliceSystemBatch, observations: Mapping[PathSet, float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unpack a pathset→value mapping into gatherable arrays.
+
+    One pass over the mapping fills a ``(|P|,)`` singleton vector and
+    a dense symmetric ``(|P|, |P|)`` pair matrix (NaN where
+    unmeasured); every downstream score is then a flat fancy-indexed
+    gather. Entries for paths outside the index are ignored.
+    """
+    pos = batch.index.path_pos
+    num_paths = batch.index.num_paths
+    y_single = np.full(num_paths, np.nan)
+    y_pair = np.full((num_paths, num_paths), np.nan)
+    for ps, value in observations.items():
+        size = len(ps)
+        if size == 1:
+            (pid,) = ps
+            i = pos.get(pid)
+            if i is not None:
+                y_single[i] = value
+        elif size == 2:
+            pid_a, pid_b = ps
+            i, j = pos.get(pid_a), pos.get(pid_b)
+            if i is not None and j is not None:
+                y_pair[i, j] = value
+                y_pair[j, i] = value
+    return y_single, y_pair
+
+
+def batch_pair_estimates(
+    batch: SliceSystemBatch, observations: Mapping[PathSet, float]
+) -> np.ndarray:
+    """Equation 14 for *all* candidate systems at once.
+
+    Returns:
+        The flat ``(n_pairs,)`` array of ``y_a + y_b − y_ab``
+        estimates, aligned with ``batch.pair_a``/``pair_b`` and
+        segmented by ``batch.offsets``.
+
+    Raises:
+        SliceError: If any needed pathset was not measured.
+    """
+    y_single, y_pair = _observation_arrays(batch, observations)
+    return batch_pair_estimates_arrays(
+        batch, y_single, y_pair[batch.pair_a, batch.pair_b]
+    )
+
+
+def batch_pair_estimates_arrays(
+    batch: SliceSystemBatch,
+    y_single: np.ndarray,
+    y_pair_flat: np.ndarray,
+) -> np.ndarray:
+    """Equation 14 from pre-gathered arrays.
+
+    ``y_single`` is indexed by path row, ``y_pair_flat`` aligned with
+    ``batch.pair_a``/``pair_b``. NaN marks a missing observation.
+    """
+    estimates = (
+        y_single[batch.pair_a] + y_single[batch.pair_b] - y_pair_flat
+    )
+    if np.isnan(estimates).any():
+        bad = int(np.flatnonzero(np.isnan(estimates))[0])
+        pa = batch.index.path_ids[batch.pair_a[bad]]
+        pb = batch.index.path_ids[batch.pair_b[bad]]
+        raise SliceError(
+            f"missing observation for pair {{{pa},{pb}}} or a member "
+            "singleton"
+        )
+    return estimates
+
+
+def _segment_spread(batch: SliceSystemBatch, clipped: np.ndarray) -> np.ndarray:
+    starts = batch.offsets[:-1]
+    maxs = np.maximum.reduceat(clipped, starts)
+    mins = np.minimum.reduceat(clipped, starts)
+    counts = np.diff(batch.offsets)
+    return np.where(counts >= 2, maxs - mins, 0.0)
+
+
+def batch_unsolvability(
+    batch: SliceSystemBatch, observations: Mapping[PathSet, float]
+) -> np.ndarray:
+    """Unsolvability scores of all candidate systems in one pass.
+
+    Per-pair estimates are clipped at 0 (see
+    :meth:`SliceSystem.unsolvability`), then each system's score is
+    the max − min over its segment of the flat estimate array;
+    single-pair systems score 0.
+    """
+    if batch.num_systems == 0:
+        return np.zeros(0, dtype=float)
+    clipped = np.maximum(batch_pair_estimates(batch, observations), 0.0)
+    return _segment_spread(batch, clipped)
+
+
+def batch_unsolvability_arrays(
+    batch: SliceSystemBatch,
+    y_single: np.ndarray,
+    y_pair_flat: np.ndarray,
+) -> np.ndarray:
+    """:func:`batch_unsolvability` from pre-gathered arrays (the
+    zero-dict route used by the experiment runner)."""
+    if batch.num_systems == 0:
+        return np.zeros(0, dtype=float)
+    clipped = np.maximum(
+        batch_pair_estimates_arrays(batch, y_single, y_pair_flat), 0.0
+    )
+    return _segment_spread(batch, clipped)
 
 
 def slice_pathsets(net: Network, sigma: LinkSeq) -> PathSetFamily:

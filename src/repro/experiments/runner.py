@@ -20,20 +20,21 @@ import numpy as np
 from repro.core.algorithm import (
     DEFAULT_MIN_PATHSETS,
     AlgorithmResult,
-    identify_non_neutral,
+    identify_from_scores,
 )
 from repro.core.classes import ClassAssignment
 from repro.core.metrics import QualityReport, evaluate
 from repro.core.network import LinkSeq, Network
 from repro.core.pathsets import PathSet
-from repro.core.slices import build_slice_system, shared_sequences
+from repro.core.slices import build_slice_batch, batch_unsolvability_arrays
 from repro.experiments.config import EmulationSettings
 from repro.fluid.params import PathWorkload
 from repro.measurement.clustering import make_cluster_decider
 from repro.measurement.normalize import (
+    batch_slice_observations,
     path_congestion_probability,
-    pathset_performance_numbers,
 )
+from repro.measurement.records import MeasurementData
 from repro.substrate.base import SubstrateResult
 from repro.substrate.registry import get_substrate
 from repro.substrate.spec import LinkSpec, normalize_specs
@@ -84,6 +85,54 @@ def measured_subnetwork(
     return net.restricted_to_paths(measured)
 
 
+def infer_from_measurements(
+    net: Network,
+    measurements: MeasurementData,
+    settings: EmulationSettings = EmulationSettings(),
+    min_pathsets: int = DEFAULT_MIN_PATHSETS,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Dict[PathSet, float], AlgorithmResult]:
+    """Records → verdict: the batched inference pipeline.
+
+    This is the vectorized counterpart of
+    :func:`repro.core.algorithm_reference.infer_reference` (and the
+    function ``benchmarks/bench_inference.py`` gates at ≥ 10× over
+    it): one slice-batch build over the path index, per-slice
+    normalization from a joint congestion-status matrix (Algorithm
+    2), and batched score-based Algorithm 1.
+
+    Args:
+        net: The inference graph (measured paths only).
+        measurements: Raw per-path interval records.
+        settings: Thresholds, normalization mode, and decider knobs.
+        min_pathsets: Algorithm 1's line-10 threshold.
+        rng: Normalization generator (``mode="sampled"`` only).
+
+    Returns:
+        ``(observations, algorithm_result)``.
+    """
+    batch, skipped = build_slice_batch(net, min_pathsets)
+    observations, y_single, y_pair_flat = batch_slice_observations(
+        measurements,
+        batch,
+        loss_threshold=settings.loss_threshold,
+        mode=settings.normalization_mode,
+        rng=rng,
+    )
+    score_array = batch_unsolvability_arrays(batch, y_single, y_pair_flat)
+    scores: Dict[LinkSeq, float] = {
+        sigma: float(score)
+        for sigma, score in zip(batch.sigmas, score_array)
+    }
+    decider = make_cluster_decider(
+        min_absolute=settings.decider_min_absolute,
+        min_ratio=settings.decider_min_ratio,
+        definite=settings.decider_definite,
+    )
+    algorithm = identify_from_scores(batch, skipped, scores, decider)
+    return observations, algorithm
+
+
 def run_experiment(
     net: Network,
     classes: ClassAssignment,
@@ -130,31 +179,12 @@ def run_experiment(
     # ("similarly sized traffic aggregates") at the cost of sampling
     # noise; "expected" mode (default) uses the expectation.
     norm_rng = np.random.default_rng(settings.seed + 7_919)
-    observations: Dict[PathSet, float] = {}
-    for sigma, pairs in sorted(shared_sequences(inference_net).items()):
-        system = build_slice_system(inference_net, sigma, pairs)
-        if system is None or system.num_pathsets < min_pathsets:
-            continue
-        observations.update(
-            pathset_performance_numbers(
-                emulation.measurements,
-                system.family,
-                loss_threshold=settings.loss_threshold,
-                mode=settings.normalization_mode,
-                rng=norm_rng,
-            )
-        )
-
-    decider = make_cluster_decider(
-        min_absolute=settings.decider_min_absolute,
-        min_ratio=settings.decider_min_ratio,
-        definite=settings.decider_definite,
-    )
-    algorithm = identify_non_neutral(
+    observations, algorithm = infer_from_measurements(
         inference_net,
-        observations,
-        decider=decider,
+        emulation.measurements,
+        settings=settings,
         min_pathsets=min_pathsets,
+        rng=norm_rng,
     )
     path_congestion = {
         pid: path_congestion_probability(

@@ -91,26 +91,22 @@ def two_means_split(
             separated=False,
         )
 
-    # Exact 2-means on sorted data: evaluate every split point.
-    best_cost = np.inf
-    best_split = 1
+    # Exact 2-means on sorted data: evaluate every split point at
+    # once from prefix sums; the earliest split within fp tolerance
+    # of the minimum cost wins (matching the historical sequential
+    # search, which only moved on a > 1e-15 improvement).
+    n = arr.size
     prefix = np.cumsum(arr)
     prefix_sq = np.cumsum(arr**2)
     total = prefix[-1]
     total_sq = prefix_sq[-1]
-    n = arr.size
-    for k in range(1, n):
-        left_n, right_n = k, n - k
-        left_sum = prefix[k - 1]
-        right_sum = total - left_sum
-        left_sq = prefix_sq[k - 1]
-        right_sq = total_sq - left_sq
-        cost = (left_sq - left_sum**2 / left_n) + (
-            right_sq - right_sum**2 / right_n
-        )
-        if cost < best_cost - 1e-15:
-            best_cost = cost
-            best_split = k
+    k = np.arange(1, n)
+    left_sum = prefix[:-1]
+    left_sq = prefix_sq[:-1]
+    cost = (left_sq - left_sum**2 / k) + (
+        (total_sq - left_sq) - (total - left_sum) ** 2 / (n - k)
+    )
+    best_split = int(np.flatnonzero(cost <= cost.min() + 1e-15)[0]) + 1
     low = arr[:best_split]
     high = arr[best_split:]
     low_center = float(low.mean())

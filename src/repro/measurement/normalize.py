@@ -20,11 +20,21 @@ Subsampling ``m`` of ``M`` packets of which ``L`` were lost makes the
 sampled loss count hypergeometric(M, L, m); we either draw it
 (``mode="sampled"``) or use its expectation ``m·L/M``
 (``mode="expected"``, the default — deterministic and unbiased).
+
+Since the indexed rewrite (DESIGN.md S17) everything here is batched:
+the stacked counters are cached on :class:`MeasurementData`, the
+expected-mode congestion status is one array expression (``m·L/M``
+divided by ``m`` is just ``L/M``, so the indicator does not depend on
+the family's minimum rate), sampled mode draws all hypergeometric
+counts in one array-shaped call, and a family's pathset costs come
+from index arrays — singleton costs are status rows, pair costs
+elementwise row ANDs. The pre-rewrite per-pathset loops are frozen in
+:mod:`repro.core.algorithm_reference`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -36,6 +46,61 @@ from repro.measurement.records import MeasurementData
 #: interval as congested, matching Algorithm 2's ``0.01·m`` and the
 #: bold default of Table 1.
 DEFAULT_LOSS_THRESHOLD = 0.01
+
+#: Per-byte popcount lookup, the NumPy < 2.0 fallback for
+#: ``np.bitwise_count`` (first 2.x-only API in the codebase; the
+#: project pins no NumPy minimum).
+_POPCOUNT = np.array(
+    [bin(byte).count("1") for byte in range(256)], dtype=np.uint8
+)
+
+
+def _popcount_rows(packed: np.ndarray) -> np.ndarray:
+    """Row-wise set-bit counts of a packed uint8 matrix."""
+    if hasattr(np, "bitwise_count"):
+        bits = np.bitwise_count(packed)
+    else:  # pragma: no cover - exercised only on NumPy 1.x
+        bits = _POPCOUNT[packed]
+    return bits.sum(axis=1, dtype=np.int64)
+
+
+def _check_args(
+    loss_threshold: float, mode: str, rng: Optional[np.random.Generator]
+) -> None:
+    if not 0.0 < loss_threshold < 1.0:
+        raise MeasurementError(
+            f"loss threshold must be in (0,1), got {loss_threshold}"
+        )
+    if mode not in ("expected", "sampled"):
+        raise MeasurementError(f"unknown mode {mode!r}")
+    if mode == "sampled" and rng is None:
+        raise MeasurementError("mode='sampled' requires an rng")
+
+
+def _sampled_loss(
+    sent: np.ndarray,
+    lost: np.ndarray,
+    m: np.ndarray,
+    valid: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Hypergeometric subsampled loss counts, drawn in one array call.
+
+    Only valid intervals are drawn (invalid ones consume no
+    randomness), in row-major path×interval order — the same RNG
+    stream as drawing each cell individually.
+    """
+    sampled_lost = np.zeros_like(sent, dtype=float)
+    cols = np.flatnonzero(valid)
+    if cols.size:
+        sub_sent = sent[:, cols]
+        sub_lost = lost[:, cols]
+        sampled_lost[:, cols] = rng.hypergeometric(
+            sub_lost,
+            sub_sent - sub_lost,
+            np.broadcast_to(m[cols], sub_sent.shape),
+        )
+    return sampled_lost
 
 
 def congestion_free_matrix(
@@ -62,42 +127,96 @@ def congestion_free_matrix(
         ``valid[t]`` marks intervals where every path sent at least
         one packet (others carry no information and are skipped).
     """
-    if not 0.0 < loss_threshold < 1.0:
-        raise MeasurementError(
-            f"loss threshold must be in (0,1), got {loss_threshold}"
-        )
-    if mode not in ("expected", "sampled"):
-        raise MeasurementError(f"unknown mode {mode!r}")
-    if mode == "sampled" and rng is None:
-        raise MeasurementError("mode='sampled' requires an rng")
-
-    sent = np.stack([data.record(pid).sent for pid in path_ids])
-    lost = np.stack([data.record(pid).lost for pid in path_ids])
-    num_paths, num_intervals = sent.shape
-
+    _check_args(loss_threshold, mode, rng)
+    rows = data.rows_of(path_ids)
+    sent = data.sent_matrix[rows]
+    lost = data.lost_matrix[rows]
     valid = (sent > 0).all(axis=0)
-    m = np.where(valid, sent.min(axis=0), 0)
 
     if mode == "expected":
+        # The expected subsampled fraction (m·L/M)/m is L/M: the
+        # indicator is independent of the family's minimum rate.
         with np.errstate(divide="ignore", invalid="ignore"):
-            sampled_lost = np.where(sent > 0, lost * (m / sent), 0.0)
+            frac = np.where(sent > 0, lost / sent, 0.0)
     else:
-        sampled_lost = np.zeros_like(sent, dtype=float)
-        for i in range(num_paths):
-            for t in range(num_intervals):
-                if not valid[t] or m[t] == 0:
-                    continue
-                ngood = int(sent[i, t] - lost[i, t])
-                nbad = int(lost[i, t])
-                sampled_lost[i, t] = rng.hypergeometric(
-                    nbad, ngood, int(m[t])
-                )
+        m = np.where(valid, sent.min(axis=0), 0)
+        sampled_lost = _sampled_loss(sent, lost, m, valid, rng)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(m > 0, sampled_lost / np.maximum(m, 1), 0.0)
 
-    with np.errstate(divide="ignore", invalid="ignore"):
-        frac = np.where(m > 0, sampled_lost / np.maximum(m, 1), 0.0)
     status = (frac < loss_threshold).astype(np.int8)
     status[:, ~valid] = 0
     return status, valid
+
+
+def _family_index_arrays(
+    family: PathSetFamily, index: Dict[str, int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[Tuple[int, PathSet]]]:
+    """Split a family into index arrays by pathset size.
+
+    Returns ``(single_pos, single_row, pair_pos, pair_rows, larger)``
+    where ``*_pos`` index into the family and ``larger`` holds the
+    (rare) pathsets of size ≥ 3, evaluated per set.
+    """
+    single_pos: List[int] = []
+    single_row: List[int] = []
+    pair_pos: List[int] = []
+    pair_a: List[int] = []
+    pair_b: List[int] = []
+    larger: List[Tuple[int, PathSet]] = []
+    for f, ps in enumerate(family):
+        size = len(ps)
+        if size == 1:
+            (pid,) = ps
+            single_pos.append(f)
+            single_row.append(index[pid])
+        elif size == 2:
+            pid_a, pid_b = ps
+            pair_pos.append(f)
+            pair_a.append(index[pid_a])
+            pair_b.append(index[pid_b])
+        else:
+            larger.append((f, ps))
+    return (
+        np.array(single_pos, dtype=np.intp),
+        np.array(single_row, dtype=np.intp),
+        np.array(pair_pos, dtype=np.intp),
+        np.stack(
+            [
+                np.array(pair_a, dtype=np.intp),
+                np.array(pair_b, dtype=np.intp),
+            ]
+        ),
+        larger,
+    )
+
+
+def _family_values(
+    status_valid: np.ndarray,
+    family: PathSetFamily,
+    index: Dict[str, int],
+    eps: float,
+) -> np.ndarray:
+    """Performance numbers for one family from its status matrix.
+
+    ``status_valid`` is the boolean congestion-free matrix restricted
+    to valid intervals (family paths × valid intervals). Singleton
+    probabilities are row means, pair probabilities are means of
+    elementwise row ANDs — no per-pathset Python loop.
+    """
+    p_free = np.empty(len(family), dtype=float)
+    single_pos, single_row, pair_pos, pair_rows, larger = (
+        _family_index_arrays(family, index)
+    )
+    if single_pos.size:
+        p_free[single_pos] = status_valid[single_row].mean(axis=1)
+    if pair_pos.size:
+        joint = status_valid[pair_rows[0]] & status_valid[pair_rows[1]]
+        p_free[pair_pos] = joint.mean(axis=1)
+    for f, ps in larger:
+        rows = [index[pid] for pid in ps]
+        p_free[f] = status_valid[rows].all(axis=0).mean()
+    return -np.log(np.clip(p_free, eps, 1.0))
 
 
 def pathset_performance_numbers(
@@ -148,14 +267,10 @@ def pathset_performance_numbers(
         if min_probability is not None
         else 1.0 / (2.0 * total_valid)
     )
-    out: Dict[PathSet, float] = {}
-    for ps in family:
-        rows = [index[pid] for pid in ps]
-        joint = status[rows].min(axis=0)  # AND over member paths
-        p_free = joint[valid].mean() if total_valid else 0.0
-        p_free = min(max(float(p_free), eps), 1.0)
-        out[ps] = -float(np.log(p_free))
-    return out
+    values = _family_values(
+        status[:, valid].astype(bool), family, index, eps
+    )
+    return {ps: float(values[f]) for f, ps in enumerate(family)}
 
 
 def slice_observations(
@@ -188,6 +303,180 @@ def slice_observations(
         )
         merged.update(values)
     return merged
+
+
+def joint_slice_observations(
+    data: MeasurementData,
+    families: Sequence[PathSetFamily],
+    loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
+    mode: str = "expected",
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[PathSet, float]:
+    """Per-slice normalization with one joint status matrix.
+
+    The batched form of :func:`slice_observations` used by the
+    experiment runner: families are merged *in the given order*
+    (σ-sorted system order — later families win shared pathsets,
+    matching the historical per-slice loop), and in expected mode the
+    congestion status of every path is computed once for the whole
+    experiment instead of once per family. This is valid because the
+    expected-mode indicator is ``L/M < threshold`` — independent of
+    the family's minimum rate (see :func:`congestion_free_matrix`);
+    only the set of *valid* intervals, the clamp ``1/(2T_valid)``,
+    and sampled-mode draws are family-dependent.
+
+    When every path has traffic in every interval (the common case
+    for emulated and synthetic records), all families see the same
+    valid set and the merge collapses further: every pathset is
+    evaluated exactly once from the joint matrix — singletons as
+    status rows, pairs as elementwise row ANDs.
+    """
+    _check_args(loss_threshold, mode, rng)
+    families = [fam for fam in families if fam]
+    if not families:
+        return {}
+    if mode == "sampled":
+        # Sampled draws are family-coupled (the minimum rate enters
+        # the hypergeometric); keep the per-family path, which draws
+        # each family's counts in one array call.
+        merged: Dict[PathSet, float] = {}
+        for fam in families:
+            merged.update(
+                pathset_performance_numbers(
+                    data, fam, loss_threshold, mode, rng
+                )
+            )
+        return merged
+
+    sent = data.sent_matrix
+    lost = data.lost_matrix
+    has_traffic = sent > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = np.where(has_traffic, lost / sent, 0.0)
+    status = (frac < loss_threshold) & has_traffic
+
+    if bool(has_traffic.all()):
+        # Fast path: every interval is valid for every family, so a
+        # pathset's value is family-independent — evaluate each
+        # pathset once, straight off the joint matrix.
+        total_valid = status.shape[1]
+        eps = 1.0 / (2.0 * total_valid)
+        index = {pid: i for i, pid in enumerate(data.path_ids)}
+        seen: Set[PathSet] = set()
+        flat: List[PathSet] = []
+        for fam in families:
+            for ps in fam:
+                if ps not in seen:
+                    seen.add(ps)
+                    flat.append(ps)
+        values = _family_values(status, tuple(flat), index, eps)
+        return {ps: float(values[f]) for f, ps in enumerate(flat)}
+
+    merged = {}
+    for fam in families:
+        paths = tuple(sorted({pid for ps in fam for pid in ps}))
+        rows = data.rows_of(paths)
+        valid = has_traffic[rows].all(axis=0)
+        total_valid = int(valid.sum())
+        if total_valid == 0:
+            raise MeasurementError(
+                "no interval has traffic on every involved path; cannot "
+                "normalize (paths: %s)" % (paths,)
+            )
+        eps = 1.0 / (2.0 * total_valid)
+        index = {pid: i for i, pid in enumerate(paths)}
+        values = _family_values(status[rows][:, valid], fam, index, eps)
+        merged.update(
+            {ps: float(values[f]) for f, ps in enumerate(fam)}
+        )
+    return merged
+
+
+def batch_slice_observations(
+    data: MeasurementData,
+    batch,
+    loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
+    mode: str = "expected",
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Dict[PathSet, float], np.ndarray, np.ndarray]:
+    """Per-slice observations for a whole
+    :class:`~repro.core.slices.SliceSystemBatch` at once.
+
+    The zero-dict-roundtrip route of the runner: when expected-mode
+    normalization applies and every path has traffic in every
+    interval, all singleton costs come from one joint status matrix
+    (row popcounts) and all pair costs from bit-packed row ANDs over
+    the batch's flat pair index arrays — no per-family or per-pathset
+    Python work. Otherwise it defers to
+    :func:`joint_slice_observations` (identical values, family by
+    family).
+
+    Returns:
+        ``(observations, y_single, y_pair_flat)`` — the pathset→cost
+        mapping plus the same values in gatherable array form:
+        ``y_single`` indexed by path row (NaN for unmeasured paths),
+        ``y_pair_flat`` aligned with ``batch.pair_a``/``pair_b``.
+        Feed the arrays to
+        :func:`repro.core.slices.batch_unsolvability_arrays`.
+    """
+    _check_args(loss_threshold, mode, rng)
+    index = batch.index
+    num_paths = index.num_paths
+
+    def _arrays_from_dict(observations):
+        from repro.core.slices import _observation_arrays
+
+        y_single, y_pair = _observation_arrays(batch, observations)
+        return y_single, y_pair[batch.pair_a, batch.pair_b]
+
+    if batch.num_systems == 0:
+        return {}, np.full(num_paths, np.nan), np.zeros(0, dtype=float)
+
+    fast = mode == "expected" and bool((data.sent_matrix > 0).all())
+    if not fast:
+        observations = joint_slice_observations(
+            data,
+            [system.family for system in batch.systems],
+            loss_threshold=loss_threshold,
+            mode=mode,
+            rng=rng,
+        )
+        return (observations,) + _arrays_from_dict(observations)
+
+    sent = data.sent_matrix
+    lost = data.lost_matrix
+    status = (lost / sent) < loss_threshold
+    total = status.shape[1]
+    eps = 1.0 / (2.0 * total)
+
+    used = np.unique(batch.member_rows)
+    path_ids = index.path_ids
+    data_rows = data.rows_of(path_ids[r] for r in used)
+    joint = status[data_rows]  # (n_used, T), aligned with ``used``
+    p_single = joint.mean(axis=1)
+    y_used = -np.log(np.clip(p_single, eps, 1.0))
+    y_single = np.full(num_paths, np.nan)
+    y_single[used] = y_used
+
+    # Pair costs: popcounts of bit-packed row ANDs.
+    local = np.full(num_paths, -1, dtype=np.intp)
+    local[used] = np.arange(used.size, dtype=np.intp)
+    packed = np.packbits(joint, axis=1)
+    joint_count = _popcount_rows(
+        packed[local[batch.pair_a]] & packed[local[batch.pair_b]]
+    )
+    p_pair = joint_count / total
+    y_pair_flat = -np.log(np.clip(p_pair, eps, 1.0))
+
+    observations: Dict[PathSet, float] = {}
+    for r, y in zip(used.tolist(), y_used.tolist()):
+        observations[frozenset([path_ids[r]])] = y
+    for s, system in enumerate(batch.systems):
+        lo, hi = batch.offsets[s], batch.offsets[s + 1]
+        pair_sets = system.family[len(system.paths):]
+        for ps, y in zip(pair_sets, y_pair_flat[lo:hi].tolist()):
+            observations[ps] = y
+    return observations, y_single, y_pair_flat
 
 
 def path_congestion_probability(

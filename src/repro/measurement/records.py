@@ -10,7 +10,7 @@ exactly the inputs of the paper's Algorithm 2. Both emulators emit
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -98,6 +98,56 @@ class MeasurementData:
             )
         self._num_intervals = lengths.pop()
         self.interval_seconds = float(interval_seconds)
+        # Lazy stacked matrices (sorted-path-id row order): built once
+        # and reused by every normalization family/slice instead of
+        # re-stacking per congestion_free_matrix call.
+        self._row_of: Optional[Dict[str, int]] = None
+        self._sent_matrix: Optional[np.ndarray] = None
+        self._lost_matrix: Optional[np.ndarray] = None
+
+    def _build_matrices(self) -> None:
+        ids = self.path_ids
+        self._row_of = {pid: i for i, pid in enumerate(ids)}
+        self._sent_matrix = np.stack(
+            [self._records[pid].sent for pid in ids]
+        )
+        self._lost_matrix = np.stack(
+            [self._records[pid].lost for pid in ids]
+        )
+        self._sent_matrix.setflags(write=False)
+        self._lost_matrix.setflags(write=False)
+
+    @property
+    def sent_matrix(self) -> np.ndarray:
+        """``(|paths|, T)`` sent counters, rows in sorted-id order."""
+        if self._sent_matrix is None:
+            self._build_matrices()
+        return self._sent_matrix
+
+    @property
+    def lost_matrix(self) -> np.ndarray:
+        """``(|paths|, T)`` lost counters, rows aligned with
+        :attr:`sent_matrix`."""
+        if self._lost_matrix is None:
+            self._build_matrices()
+        return self._lost_matrix
+
+    def rows_of(self, path_ids: Iterable[str]) -> np.ndarray:
+        """Row indices of the given paths into the stacked matrices.
+
+        Raises:
+            MeasurementError: For a path without a record.
+        """
+        if self._row_of is None:
+            self._build_matrices()
+        try:
+            return np.array(
+                [self._row_of[pid] for pid in path_ids], dtype=np.intp
+            )
+        except KeyError as exc:
+            raise MeasurementError(
+                f"no record for path {exc.args[0]!r}"
+            ) from None
 
     @property
     def path_ids(self) -> Tuple[str, ...]:

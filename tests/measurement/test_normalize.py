@@ -80,6 +80,36 @@ class TestCongestionFreeMatrix:
         detection = 1.0 - status[0].mean()
         assert 0.25 < detection < 0.60
 
+    def test_sampled_mode_matches_reference_stream(self):
+        """The array-shaped hypergeometric call consumes the RNG
+        stream exactly like the frozen per-cell loop — including
+        skipping invalid intervals — so seeded sampled runs are
+        bit-reproducible across the rewrite."""
+        from repro.core.algorithm_reference import (
+            congestion_free_matrix_reference,
+        )
+
+        rng = np.random.default_rng(7)
+        sent_a = rng.integers(50, 500, size=64)
+        sent_b = rng.integers(50, 500, size=64)
+        sent_a[::7] = 0  # inject invalid intervals
+        data = _data(
+            [
+                ("p1", sent_a, np.minimum(sent_a // 10, sent_a)),
+                ("p2", sent_b, sent_b // 20),
+            ]
+        )
+        status_ref, valid_ref = congestion_free_matrix_reference(
+            data, ("p1", "p2"), mode="sampled",
+            rng=np.random.default_rng(123),
+        )
+        status_vec, valid_vec = congestion_free_matrix(
+            data, ("p1", "p2"), mode="sampled",
+            rng=np.random.default_rng(123),
+        )
+        np.testing.assert_array_equal(valid_ref, valid_vec)
+        np.testing.assert_array_equal(status_ref, status_vec)
+
     def test_invalid_threshold(self):
         data = _data([("p1", [10], [0])])
         with pytest.raises(MeasurementError):

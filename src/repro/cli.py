@@ -7,11 +7,19 @@ Commands:
 * ``topo-b [--seed S]`` — the topology-B experiment with reports.
 * ``sweep [--sets 1,2,…] --workers N [--cache DIR]`` — the Table 2
   sweep fanned over a process pool with result caching.
+* ``monitor`` — the streaming neutrality monitor: emulate in segment
+  mode, emit rolling windowed verdicts, and timestamp
+  differentiation onset/offset change points (``--onset T`` switches
+  the policy on mid-run).
 
-``fig8``, ``topo-b``, and ``sweep`` all accept ``--substrate
-{fluid,packet}`` to pick the emulation backend (default: fluid).
+``fig8``, ``topo-b``, ``sweep``, and ``monitor`` all accept
+``--substrate {fluid,packet}`` to pick the emulation backend
+(default: fluid).
 
 Every command prints the same tables the benchmark harness produces.
+Configuration mistakes (unknown substrate/topology names, bad
+parameter combinations) are reported as one-line ``error:`` messages,
+never tracebacks.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.exceptions import ReproError
 from repro.experiments.config import EmulationSettings
 
 
@@ -163,12 +172,103 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_substrate_arg(parser: argparse.ArgumentParser) -> None:
-    from repro.substrate.registry import available_substrates
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import numpy as np
 
+    from repro.analysis.stats import format_table
+    from repro.streaming.fleet import MonitorTask, run_monitor_task
+    from repro.substrate.registry import get_substrate
+    from repro.substrate.scenario import DifferentiationPolicy, Scenario
+
+    # Validate free-form names up front so typos produce one clean
+    # ReproError line instead of a traceback mid-emulation.
+    get_substrate(args.substrate)
+    settings = EmulationSettings(
+        duration_seconds=args.duration,
+        warmup_seconds=args.warmup,
+        seed=args.seed,
+    )
+    policy = None
+    if args.mechanism != "none":
+        policy = DifferentiationPolicy(
+            mechanism=args.mechanism,
+            rate_fraction=args.rate,
+        )
+    onset = None
+    if args.onset is not None:
+        onset = int(round(args.onset / settings.interval_seconds))
+    scenario = Scenario(
+        name=f"monitor-{args.topology}",
+        topology=args.topology,
+        substrate=args.substrate,
+        policy=policy,
+        settings=settings,
+    )
+    task = MonitorTask(
+        name=scenario.name,
+        scenario=scenario,
+        chunk_intervals=args.chunk,
+        window_intervals=args.window,
+        stride=args.stride,
+        onset_interval=onset,
+    )
+    print(
+        f"Monitoring {args.topology}/{args.mechanism} on "
+        f"{args.substrate} ({args.duration:.0f} s, window "
+        f"{args.window} intervals)..."
+    )
+    outcome = run_monitor_task(args.seed, task)
+
+    def fmt_sigma(sigma):
+        return "<" + ",".join(sigma) + ">"
+
+    rows = []
+    for w, end in enumerate(outcome.window_ends.tolist()):
+        top = int(np.argmax(outcome.scores[w])) if outcome.sigmas else 0
+        flagged = [
+            fmt_sigma(s)
+            for k, s in enumerate(outcome.sigmas)
+            if outcome.flagged[w, k]
+        ]
+        rows.append(
+            (
+                str(w),
+                f"{end * settings.interval_seconds:.1f}",
+                f"{outcome.scores[w, top]:.4f}" if outcome.sigmas else "-",
+                "; ".join(flagged) or "-",
+            )
+        )
+    print(
+        format_table(
+            ["window", "t (s)", "max score", "flagged sequences"], rows
+        )
+    )
+    for cp in outcome.change_points:
+        print(
+            f"change point: {cp.kind} of {fmt_sigma(cp.sigma)} detected "
+            f"at interval {cp.interval} (estimate: {cp.estimate_interval})"
+        )
+    verdict = (
+        "; ".join(fmt_sigma(s) for s in outcome.final_identified) or "-"
+    )
+    print(f"final verdict (full stream): {verdict}")
+    if outcome.onset_interval is not None:
+        if outcome.detection_delay_intervals is not None:
+            print(
+                f"onset at interval {outcome.onset_interval} detected "
+                f"after {outcome.detection_delay_intervals} intervals"
+            )
+        else:
+            print(
+                f"onset at interval {outcome.onset_interval} was NOT "
+                "detected"
+            )
+    return 0
+
+
+def _add_substrate_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--substrate",
-        choices=available_substrates(),
         default="fluid",
         help="emulation backend (default: fluid)",
     )
@@ -227,6 +327,57 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--duration", type=float, default=120.0)
     sweep.add_argument("--seed", type=int, default=1)
     _add_substrate_arg(sweep)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="streaming monitor with rolling windowed verdicts",
+    )
+    monitor.add_argument(
+        "--topology",
+        default="dumbbell",
+        help="scenario topology: dumbbell or multi_isp",
+    )
+    monitor.add_argument(
+        "--mechanism",
+        default="policing",
+        help="differentiation mechanism (policing, shaping, aqm, "
+        "weighted) or 'none' for a neutral stream",
+    )
+    monitor.add_argument(
+        "--rate",
+        type=float,
+        default=0.3,
+        help="policy rate/weight as a fraction of capacity",
+    )
+    monitor.add_argument("--duration", type=float, default=60.0)
+    monitor.add_argument("--warmup", type=float, default=5.0)
+    monitor.add_argument(
+        "--onset",
+        type=float,
+        default=None,
+        help="switch the policy on at this time (seconds); the "
+        "stream starts neutral",
+    )
+    monitor.add_argument(
+        "--chunk",
+        type=int,
+        default=25,
+        help="intervals emulated per stream segment",
+    )
+    monitor.add_argument(
+        "--window",
+        type=int,
+        default=100,
+        help="sliding-window length in intervals",
+    )
+    monitor.add_argument(
+        "--stride",
+        type=int,
+        default=None,
+        help="verdict cadence in intervals (default: --chunk)",
+    )
+    monitor.add_argument("--seed", type=int, default=3)
+    _add_substrate_arg(monitor)
     return parser
 
 
@@ -237,8 +388,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig8": _cmd_fig8,
         "topo-b": _cmd_topo_b,
         "sweep": _cmd_sweep,
+        "monitor": _cmd_monitor,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        # Configuration mistakes (unknown substrate/topology names,
+        # invalid parameter combinations) are user errors, not
+        # crashes: one clean line on stderr, exit code 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry

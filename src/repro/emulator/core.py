@@ -53,6 +53,8 @@ from repro.fluid.params import PathWorkload, mb_to_packets
 from repro.measurement.records import (
     MeasurementData,
     PathRecord,
+    RecordChunk,
+    chunk_from_columns,
     link_congestion_probability,
 )
 
@@ -187,6 +189,47 @@ class _LinkRuntime:
         return max(0.0, (self.busy_until - now) * self.rate)
 
 
+def _swap_link_runtimes(
+    links: List["_LinkRuntime"],
+    new_specs: Mapping[str, "PacketLinkSpec"],
+    link_ids: List[str],
+    cindex: Mapping[str, int],
+) -> List["_LinkRuntime"]:
+    """Rebuild the per-link runtimes for swapped specs, mid-run.
+
+    Service state carries over deterministically: standing backlog
+    (``busy_until`` / the dual queues' busy horizons) survives the
+    swap, token buckets persist for links that stay policed (clipped
+    to the new bucket) and start full for newly policed links —
+    mirroring the fluid engine's swap semantics.
+    """
+    swapped: List[_LinkRuntime] = []
+    for i, lid in enumerate(link_ids):
+        old = links[i]
+        new = _LinkRuntime(i, new_specs[lid], cindex)
+        old_dual = old.mech in ("shaper", "weighted")
+        new_dual = new.mech in ("shaper", "weighted")
+        if new_dual:
+            new.busy_until = old.busy_until
+            if old_dual:
+                new.busy_t = old.busy_t
+                new.busy_o = old.busy_o
+            else:
+                # A common-FIFO backlog becomes a standing horizon on
+                # both virtual queues.
+                new.busy_t = old.busy_until
+                new.busy_o = old.busy_until
+        elif old_dual:
+            new.busy_until = max(old.busy_until, old.busy_t, old.busy_o)
+        else:
+            new.busy_until = old.busy_until
+        if new.mech == "policer" and old.mech == "policer":
+            new.tokens = min(old.tokens, new.pol_bucket)
+            new.tokens_at = old.tokens_at
+        swapped.append(new)
+    return swapped
+
+
 def _serve_fifo(
     arr: np.ndarray,
     rate: float,
@@ -269,15 +312,7 @@ class PacketNetwork:
     ) -> None:
         self._net = net
         self._classes = classes
-        specs = dict(link_specs or {})
-        unknown = set(specs) - set(net.link_ids)
-        if unknown:
-            raise ConfigurationError(
-                f"link specs for unknown links: {sorted(unknown)}"
-            )
-        self._specs: Dict[str, PacketLinkSpec] = {
-            lid: specs.get(lid, PacketLinkSpec()) for lid in net.link_ids
-        }
+        self._specs = self._complete_specs(link_specs)
         if (flow_plan is None) == (workloads is None):
             raise ConfigurationError(
                 "exactly one of flow_plan / workloads is required"
@@ -296,20 +331,6 @@ class PacketNetwork:
                 raise ConfigurationError(
                     f"paths without workloads: {sorted(missing)}"
                 )
-        for lid, spec in self._specs.items():
-            targets = [
-                m.target_class
-                for m in (spec.shaper, spec.aqm, spec.weighted)
-                if m is not None
-            ]
-            if spec.policed_class is not None:
-                targets.append(spec.policed_class)
-            for target in targets:
-                if target not in classes.names:
-                    raise ConfigurationError(
-                        f"link {lid!r} differentiates against unknown "
-                        f"class {target!r}"
-                    )
         self._flow_plan = (
             {pid: list(sizes) for pid, sizes in flow_plan.items()}
             if flow_plan is not None
@@ -320,6 +341,40 @@ class PacketNetwork:
         self._quantum = quantum_seconds
         self._max_packets = int(max_packets)
 
+    def _complete_specs(
+        self, link_specs: Optional[Mapping[str, PacketLinkSpec]]
+    ) -> Dict[str, PacketLinkSpec]:
+        """Validate a spec mapping and fill unspecified links.
+
+        Shared by the constructor and mid-run spec swaps
+        (:meth:`PacketSession.set_link_specs`).
+        """
+        specs = dict(link_specs or {})
+        unknown = set(specs) - set(self._net.link_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"link specs for unknown links: {sorted(unknown)}"
+            )
+        complete = {
+            lid: specs.get(lid, PacketLinkSpec())
+            for lid in self._net.link_ids
+        }
+        for lid, spec in complete.items():
+            targets = [
+                m.target_class
+                for m in (spec.shaper, spec.aqm, spec.weighted)
+                if m is not None
+            ]
+            if spec.policed_class is not None:
+                targets.append(spec.policed_class)
+            for target in targets:
+                if target not in self._classes.names:
+                    raise ConfigurationError(
+                        f"link {lid!r} differentiates against unknown "
+                        f"class {target!r}"
+                    )
+        return complete
+
     # ------------------------------------------------------------------
 
     def run(
@@ -328,7 +383,11 @@ class PacketNetwork:
         interval_seconds: float = 0.1,
         warmup_seconds: float = 0.0,
     ) -> PacketResult:
-        """Run the emulation and return the interval-record result."""
+        """Run the emulation and return the interval-record result.
+
+        Equivalent to opening a :meth:`session` and advancing it by
+        every interval at once — same arithmetic, same RNG stream.
+        """
         if duration_seconds <= 0:
             raise EmulationError("duration must be positive")
         if interval_seconds <= 0:
@@ -336,8 +395,47 @@ class PacketNetwork:
         num_intervals = int(round(duration_seconds / interval_seconds))
         if num_intervals < 1:
             raise EmulationError("duration shorter than one interval")
-        warm_intervals = int(round(warmup_seconds / interval_seconds))
+        session = self.session(
+            interval_seconds=interval_seconds,
+            warmup_seconds=warmup_seconds,
+        )
+        session.advance(num_intervals)
+        return session.result()
 
+    def session(
+        self,
+        interval_seconds: float = 0.1,
+        warmup_seconds: float = 0.0,
+        keep_ground_truth: bool = True,
+    ) -> "PacketSession":
+        """Open a resumable emulation session (streaming mode).
+
+        The packet analogue of :meth:`repro.fluid.engine.
+        FluidNetwork.session`: advance N intervals at a time, swap
+        link specs at interval boundaries, collect the cumulative
+        :class:`PacketResult` at any point (unless
+        ``keep_ground_truth=False`` bounds memory by discarding
+        emitted intervals). One session per :class:`PacketNetwork`
+        instance.
+        """
+        if interval_seconds <= 0:
+            raise EmulationError("interval must be positive")
+        return PacketSession(
+            self, interval_seconds, warmup_seconds, keep_ground_truth
+        )
+
+    def _interval_loop(
+        self,
+        session: "PacketSession",
+        interval_seconds: float,
+        warm_intervals: int,
+    ):
+        """The emulation loop, yielding once per closed interval.
+
+        Open-ended like the fluid loop: the session stops pulling
+        when its segment is complete, and pending link-spec swaps are
+        applied at interval boundaries without consuming randomness.
+        """
         net = self._net
         rng = np.random.default_rng(self._seed)
         path_ids: List[str] = sorted(
@@ -428,20 +526,34 @@ class PacketNetwork:
         quantum_target = min(quantum_target, interval_seconds)
         qpi = max(1, int(round(interval_seconds / quantum_target)))
         dt = interval_seconds / qpi
-        total_quanta = (warm_intervals + num_intervals) * qpi
         warm_quanta = warm_intervals * qpi
 
         # --- accumulators ----------------------------------------------
-        sent_out = np.zeros((num_paths, num_intervals), dtype=np.int64)
-        lost_out = np.zeros((num_paths, num_intervals), dtype=np.int64)
-        link_arr_out = np.zeros(
-            (num_links, num_classes, num_intervals), dtype=np.int64
+        # Within-interval accumulators only; closed intervals are
+        # yielded to the session, which collects the columns.
+        sent_ivl = np.zeros(num_paths, dtype=np.int64)
+        lost_ivl = np.zeros(num_paths, dtype=np.int64)
+        link_arr_ivl = np.zeros((num_links, num_classes), dtype=np.int64)
+        link_drop_ivl = np.zeros((num_links, num_classes), dtype=np.int64)
+        session._bind(
+            path_ids, link_ids, class_names, f_path, f_completed,
+            measured_paths,
         )
-        link_drop_out = np.zeros(
-            (num_links, num_classes, num_intervals), dtype=np.int64
-        )
-        queue_occ_out = np.zeros((num_links, num_intervals))
-        rtt_out = np.zeros((num_paths, num_intervals))
+
+        def _close_interval(occ: np.ndarray, rtt_col: np.ndarray):
+            cols = (
+                sent_ivl.copy(),
+                lost_ivl.copy(),
+                link_arr_ivl.copy(),
+                link_drop_ivl.copy(),
+                occ,
+                rtt_col,
+            )
+            sent_ivl[:] = 0
+            lost_ivl[:] = 0
+            link_arr_ivl[:] = 0
+            link_drop_ivl[:] = 0
+            return cols
 
         # ACKs and in-transit packets bucketed by destination quantum.
         acks_by_q: Dict[int, List[np.ndarray]] = {}
@@ -449,11 +561,17 @@ class PacketNetwork:
         first_drop = np.full(nf, np.inf)
         emitted_total = 0
 
-        for q in range(total_quanta):
+        q = 0
+        while True:
+            if session._pending_specs is not None and q % qpi == 0:
+                links = _swap_link_runtimes(
+                    links, session._pending_specs, link_ids, cindex
+                )
+                self._specs = session._pending_specs
+                session._pending_specs = None
             now = q * dt
             q_end = now + dt
             measuring = q >= warm_quanta
-            k_ivl = (q - warm_quanta) // qpi if measuring else -1
 
             # 1. Deliver ACKs due by now (bucketed by quantum index).
             due = acks_by_q.pop(q, None)
@@ -553,11 +671,7 @@ class PacketNetwork:
                 parts_f.append(fvec)
                 parts_h.append(np.zeros(total, dtype=np.intp))
                 if measuring:
-                    np.add.at(
-                        sent_out[:, k_ivl],
-                        f_path[senders],
-                        counts,
-                    )
+                    np.add.at(sent_ivl, f_path[senders], counts)
             intransit = transit_by_q.pop(q, None)
             if intransit is not None:
                 for t_a, f_a, h_a in intransit:
@@ -565,6 +679,16 @@ class PacketNetwork:
                     parts_f.append(f_a)
                     parts_h.append(h_a)
             if not parts_t:
+                # Idle quantum. If it closes an interval, the interval
+                # still gets its accumulated counters; queue/RTT
+                # sampling is skipped (zeros), exactly as in the
+                # historical one-shot loop, which 'continue'd past the
+                # close here.
+                if measuring and (q - warm_quanta + 1) % qpi == 0:
+                    yield _close_interval(
+                        np.zeros(num_links), np.zeros(num_paths)
+                    )
+                q += 1
                 continue
             cur_t = np.concatenate(parts_t)
             cur_f = np.concatenate(parts_f)
@@ -594,7 +718,7 @@ class PacketNetwork:
                     )
                     if measuring:
                         np.add.at(
-                            link_arr_out[lr.index, :, k_ivl],
+                            link_arr_ivl[lr.index],
                             f_class[seg_f],
                             1,
                         )
@@ -605,11 +729,9 @@ class PacketNetwork:
                         np.add.at(f_inflight, df, -1)
                         np.minimum.at(first_drop, df, dts)
                         if measuring:
+                            np.add.at(lost_ivl, f_path[df], 1)
                             np.add.at(
-                                lost_out[:, k_ivl], f_path[df], 1
-                            )
-                            np.add.at(
-                                link_drop_out[lr.index, :, k_ivl],
+                                link_drop_ivl[lr.index],
                                 f_class[df],
                                 1,
                             )
@@ -637,12 +759,11 @@ class PacketNetwork:
                     np.maximum(qi, q + 1, out=qi)
                     lo, hi = int(qi.min()), int(qi.max())
                     if lo == hi:
-                        if lo < total_quanta:
-                            acks_by_q.setdefault(lo, []).append(ack_f)
+                        acks_by_q.setdefault(lo, []).append(ack_f)
                     else:
                         # Destination quanta span a small range (one
                         # RTT) — a range scan beats unique's hashing.
-                        for qq in range(lo, min(hi, total_quanta - 1) + 1):
+                        for qq in range(lo, hi + 1):
                             sel = qi == qq
                             if sel.any():
                                 acks_by_q.setdefault(qq, []).append(
@@ -656,12 +777,11 @@ class PacketNetwork:
                     np.maximum(qi, q + 1, out=qi)
                     lo, hi = int(qi.min()), int(qi.max())
                     if lo == hi:
-                        if lo < total_quanta:
-                            transit_by_q.setdefault(lo, []).append(
-                                (ft, ff, fh)
-                            )
+                        transit_by_q.setdefault(lo, []).append(
+                            (ft, ff, fh)
+                        )
                     else:
-                        for qq in range(lo, min(hi, total_quanta - 1) + 1):
+                        for qq in range(lo, hi + 1):
                             sel = qi == qq
                             if sel.any():
                                 transit_by_q.setdefault(qq, []).append(
@@ -687,58 +807,14 @@ class PacketNetwork:
                 occ = np.array(
                     [lr.backlog_packets(q_end) for lr in links]
                 )
-                queue_occ_out[:, k_ivl] = occ
                 qdelay = occ / np.array([lr.rate for lr in links])
+                rtt_col = np.empty(num_paths)
                 for p in range(num_paths):
-                    rtt_out[p, k_ivl] = full_rtt[p] + float(
+                    rtt_col[p] = full_rtt[p] + float(
                         qdelay[path_links[p]].sum()
                     )
-
-        # --- package results -------------------------------------------
-        records = []
-        for p, pid in enumerate(path_ids):
-            if pid not in measured_paths:
-                continue
-            records.append(
-                PathRecord(
-                    pid,
-                    sent_out[p],
-                    np.minimum(lost_out[p], sent_out[p]),
-                )
-            )
-        if not records:
-            raise EmulationError("no measured paths in the workload")
-        flows_by_path = np.bincount(
-            f_path, weights=f_completed, minlength=num_paths
-        )
-        return PacketResult(
-            measurements=MeasurementData(records, interval_seconds),
-            link_class_arrivals={
-                lid: {
-                    cn: link_arr_out[l, c].astype(float)
-                    for c, cn in enumerate(class_names)
-                }
-                for l, lid in enumerate(link_ids)
-            },
-            link_class_drops={
-                lid: {
-                    cn: link_drop_out[l, c].astype(float)
-                    for c, cn in enumerate(class_names)
-                }
-                for l, lid in enumerate(link_ids)
-            },
-            queue_occupancy={
-                lid: queue_occ_out[l] for l, lid in enumerate(link_ids)
-            },
-            interval_seconds=interval_seconds,
-            flows_completed={
-                pid: int(flows_by_path[p])
-                for p, pid in enumerate(path_ids)
-            },
-            path_rtt_seconds={
-                pid: rtt_out[p] for p, pid in enumerate(path_ids)
-            },
-        )
+                yield _close_interval(occ, rtt_col)
+            q += 1
 
     # ------------------------------------------------------------------
 
@@ -939,3 +1015,160 @@ class PacketNetwork:
         if admit.all():
             return None, dep_full
         return admit, dep_full[admit]
+
+
+class PacketSession:
+    """A resumable packet emulation, advanced N intervals at a time.
+
+    Created by :meth:`PacketNetwork.session`. Advancing a session in
+    any segmentation produces bit-identical records to a one-shot
+    :meth:`PacketNetwork.run` of the same total length; between
+    segments the session accepts link-spec swaps, applied at the next
+    interval boundary with deterministic state carry-over (see
+    :func:`_swap_link_runtimes`).
+    """
+
+    def __init__(
+        self,
+        sim: PacketNetwork,
+        interval_seconds: float,
+        warmup_seconds: float,
+        keep_ground_truth: bool = True,
+    ) -> None:
+        self._sim = sim
+        self.interval_seconds = float(interval_seconds)
+        self._keep_history = bool(keep_ground_truth)
+        self._pending_specs: Optional[Dict[str, PacketLinkSpec]] = None
+        self._gen = sim._interval_loop(
+            self,
+            float(interval_seconds),
+            int(round(warmup_seconds / interval_seconds)),
+        )
+        self._path_ids: Optional[List[str]] = None
+        self._sent_cols: List[np.ndarray] = []
+        self._lost_cols: List[np.ndarray] = []
+        self._arr_cols: List[np.ndarray] = []
+        self._drop_cols: List[np.ndarray] = []
+        self._occ_cols: List[np.ndarray] = []
+        self._rtt_cols: List[np.ndarray] = []
+        self.intervals_done = 0
+
+    def _bind(
+        self, path_ids, link_ids, class_names, f_path, f_completed,
+        measured_paths,
+    ) -> None:
+        """Called by the loop once its state exists (first advance)."""
+        self._path_ids = list(path_ids)
+        self._link_ids = list(link_ids)
+        self._class_names = class_names
+        self._f_path = f_path
+        self._f_completed = f_completed
+        self._measured_rows = np.array(
+            [
+                p
+                for p, pid in enumerate(self._path_ids)
+                if pid in measured_paths
+            ],
+            dtype=np.intp,
+        )
+        self._measured_ids = tuple(
+            self._path_ids[p] for p in self._measured_rows.tolist()
+        )
+
+    def set_link_specs(
+        self, link_specs: Mapping[str, PacketLinkSpec] = None
+    ) -> None:
+        """Swap the per-link specs at the next interval boundary."""
+        self._pending_specs = self._sim._complete_specs(link_specs)
+
+    def advance(self, num_intervals: int) -> RecordChunk:
+        """Emulate ``num_intervals`` more measurement intervals."""
+        if num_intervals < 1:
+            raise EmulationError("must advance by at least one interval")
+        start = self.intervals_done
+        new_sent: List[np.ndarray] = []
+        new_lost: List[np.ndarray] = []
+        for _ in range(int(num_intervals)):
+            sent, lost, arr, drop, occ, rtt = next(self._gen)
+            new_sent.append(sent)
+            new_lost.append(lost)
+            if self._keep_history:
+                self._sent_cols.append(sent)
+                self._lost_cols.append(lost)
+                self._arr_cols.append(arr)
+                self._drop_cols.append(drop)
+                self._occ_cols.append(occ)
+                self._rtt_cols.append(rtt)
+        self.intervals_done = start + int(num_intervals)
+        return chunk_from_columns(
+            self._measured_ids,
+            new_sent,
+            new_lost,
+            self._measured_rows,
+            self.interval_seconds,
+            start,
+        )
+
+    def result(self) -> PacketResult:
+        """Package everything emulated so far as a
+        :class:`PacketResult` — identical to the one-shot run's."""
+        if self.intervals_done == 0:
+            raise EmulationError("no intervals emulated yet")
+        if not self._keep_history:
+            raise EmulationError(
+                "ground-truth history was discarded "
+                "(keep_ground_truth=False); no result to package"
+            )
+        path_ids = self._path_ids
+        link_ids = self._link_ids
+        class_names = self._class_names
+        num_paths = len(path_ids)
+        sent_out = np.stack(self._sent_cols, axis=1)
+        lost_out = np.stack(self._lost_cols, axis=1)
+        link_arr_out = np.stack(self._arr_cols, axis=2)
+        link_drop_out = np.stack(self._drop_cols, axis=2)
+        queue_occ_out = np.stack(self._occ_cols, axis=1)
+        rtt_out = np.stack(self._rtt_cols, axis=1)
+
+        records = []
+        for p in self._measured_rows.tolist():
+            records.append(
+                PathRecord(
+                    path_ids[p],
+                    sent_out[p],
+                    np.minimum(lost_out[p], sent_out[p]),
+                )
+            )
+        if not records:
+            raise EmulationError("no measured paths in the workload")
+        flows_by_path = np.bincount(
+            self._f_path, weights=self._f_completed, minlength=num_paths
+        )
+        return PacketResult(
+            measurements=MeasurementData(records, self.interval_seconds),
+            link_class_arrivals={
+                lid: {
+                    cn: link_arr_out[l, c].astype(float)
+                    for c, cn in enumerate(class_names)
+                }
+                for l, lid in enumerate(link_ids)
+            },
+            link_class_drops={
+                lid: {
+                    cn: link_drop_out[l, c].astype(float)
+                    for c, cn in enumerate(class_names)
+                }
+                for l, lid in enumerate(link_ids)
+            },
+            queue_occupancy={
+                lid: queue_occ_out[l] for l, lid in enumerate(link_ids)
+            },
+            interval_seconds=self.interval_seconds,
+            flows_completed={
+                pid: int(flows_by_path[p])
+                for p, pid in enumerate(path_ids)
+            },
+            path_rtt_seconds={
+                pid: rtt_out[p] for p, pid in enumerate(path_ids)
+            },
+        )

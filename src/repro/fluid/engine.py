@@ -62,6 +62,8 @@ from repro.fluid.traffic import SlotArrays
 from repro.measurement.records import (
     MeasurementData,
     PathRecord,
+    RecordChunk,
+    chunk_from_columns,
     link_congestion_probability,
 )
 
@@ -161,15 +163,7 @@ class FluidNetwork:
         self._send_jitter_cv = send_jitter_cv
         self._net = net
         self._classes = classes
-        specs = dict(link_specs or {})
-        unknown = set(specs) - set(net.link_ids)
-        if unknown:
-            raise ConfigurationError(
-                f"link specs for unknown links: {sorted(unknown)}"
-            )
-        self._link_specs: Dict[str, FluidLinkSpec] = {
-            lid: specs.get(lid, FluidLinkSpec()) for lid in net.link_ids
-        }
+        self._link_specs = self._complete_specs(link_specs)
         if workloads is None:
             raise ConfigurationError("workloads are required")
         missing = set(net.path_ids) - set(workloads)
@@ -179,13 +173,37 @@ class FluidNetwork:
             )
         self._workloads: Dict[str, PathWorkload] = dict(workloads)
         self._rng = np.random.default_rng(seed)
-        for lid, spec in self._link_specs.items():
+
+    def _complete_specs(
+        self, link_specs: Optional[Mapping[str, FluidLinkSpec]]
+    ) -> Dict[str, FluidLinkSpec]:
+        """Validate a spec mapping and fill unspecified links.
+
+        Shared by the constructor and mid-run spec swaps
+        (:meth:`FluidSession.set_link_specs`), so a swapped policy
+        set passes exactly the construction-time checks.
+        """
+        specs = dict(link_specs or {})
+        unknown = set(specs) - set(self._net.link_ids)
+        if unknown:
+            raise ConfigurationError(
+                f"link specs for unknown links: {sorted(unknown)}"
+            )
+        complete = {
+            lid: specs.get(lid, FluidLinkSpec())
+            for lid in self._net.link_ids
+        }
+        for lid, spec in complete.items():
             for mech in (spec.policer, spec.shaper):
-                if mech is not None and mech.target_class not in classes.names:
+                if (
+                    mech is not None
+                    and mech.target_class not in self._classes.names
+                ):
                     raise ConfigurationError(
                         f"link {lid!r} differentiates against unknown "
                         f"class {mech.target_class!r}"
                     )
+        return complete
 
     # ------------------------------------------------------------------
     # Main loop
@@ -198,7 +216,10 @@ class FluidNetwork:
         interval_seconds: float = DEFAULT_INTERVAL,
         warmup_seconds: float = 0.0,
     ) -> FluidResult:
-        """Run the emulation.
+        """Run the emulation in one shot.
+
+        Equivalent to opening a :meth:`session` and advancing it by
+        every interval at once — same arithmetic, same RNG stream.
 
         Args:
             duration_seconds: Measured time span (after warmup).
@@ -212,19 +233,58 @@ class FluidNetwork:
         """
         if duration_seconds <= 0:
             raise EmulationError("duration must be positive")
-        steps_per_interval = int(round(interval_seconds / dt))
-        if steps_per_interval < 1 or abs(
-            steps_per_interval * dt - interval_seconds
-        ) > 1e-9:
-            raise EmulationError(
-                f"dt={dt} must divide interval_seconds={interval_seconds}"
-            )
+        session = self.session(
+            dt=dt,
+            interval_seconds=interval_seconds,
+            warmup_seconds=warmup_seconds,
+        )
         num_intervals = int(round(duration_seconds / interval_seconds))
         if num_intervals < 1:
             raise EmulationError("duration shorter than one interval")
-        warmup_steps = int(round(warmup_seconds / dt))
-        total_steps = warmup_steps + num_intervals * steps_per_interval
+        session.advance(num_intervals)
+        return session.result()
 
+    def session(
+        self,
+        dt: float = DEFAULT_DT,
+        interval_seconds: float = DEFAULT_INTERVAL,
+        warmup_seconds: float = 0.0,
+        keep_ground_truth: bool = True,
+    ) -> "FluidSession":
+        """Open a resumable emulation session (streaming mode).
+
+        The session advances the emulation a chosen number of
+        measurement intervals at a time, carrying all flow/queue/RNG
+        state in between, and accepts link-spec swaps at interval
+        boundaries (mid-run differentiation onset/offset). Only one
+        session may be driven per :class:`FluidNetwork` instance —
+        sessions consume the instance's RNG.
+
+        ``keep_ground_truth=False`` discards every interval's columns
+        once its chunk is emitted, bounding a long monitoring run's
+        memory; :meth:`FluidSession.result` is then unavailable.
+        """
+        return FluidSession(
+            self, dt, interval_seconds, warmup_seconds, keep_ground_truth
+        )
+
+    def _interval_loop(
+        self,
+        session: "FluidSession",
+        dt: float,
+        steps_per_interval: int,
+        warmup_steps: int,
+    ):
+        """The emulation loop, yielding once per closed interval.
+
+        Each yield hands the session the interval's per-path sent /
+        lost / RTT columns and per-link ground-truth columns. The
+        loop is open-ended: the consumer stops pulling when its run
+        (or stream segment) is complete. Pending link-spec swaps
+        (``session._pending_specs``) are applied exactly at interval
+        boundaries and consume no randomness, so a segmented run with
+        no swaps is bit-identical to a one-shot run.
+        """
         net = self._net
         rng = self._rng
         path_ids: List[str] = list(net.path_ids)
@@ -268,32 +328,13 @@ class FluidNetwork:
         )
 
         # --- link state -------------------------------------------------
-        la = build_link_arrays(link_ids, self._link_specs)
-        capacity = la.capacity_pps
-        inv_capacity = 1.0 / capacity
-        cap_dt = capacity * dt
-        buffers = la.buffer_packets
+        # The queues persist across mid-run spec swaps (a policy
+        # switch does not empty standing buffers); everything derived
+        # from the specs is rebuilt by ``_compile_mechanisms``.
         queue = np.zeros(num_links)
         shaper_tq = np.zeros(num_links)
         shaper_oq = np.zeros(num_links)
-        # Per-mechanism constants: (link, rate, bucket/buffer, target
-        # mask over paths as bool and float).
-        policers = []
-        for l, pol in la.policers:
-            rate = pol.rate_fraction * capacity[l]
-            tmask = np.array(
-                [
-                    self._classes.class_of(pid) == pol.target_class
-                    for pid in path_ids
-                ]
-            )
-            policers.append(
-                (l, rate * dt, pol.burst_seconds * rate, tmask,
-                 tmask.astype(float))
-            )
-        tokens = np.zeros(num_links)
-        for l, _rate_dt, bucket, _m, _mf in policers:
-            tokens[l] = bucket
+
         def _target_mask(target_class: str) -> np.ndarray:
             return np.array(
                 [
@@ -302,42 +343,94 @@ class FluidNetwork:
                 ]
             )
 
-        shapers = []
-        # Links whose traffic bypasses the common droptail queue: dual
-        # shapers and weighted-service links both keep their own pair
-        # of virtual queues (shaper_tq / shaper_oq).
-        shaper_links = np.array(
-            [l for l, _ in la.shapers] + [l for l, _ in la.weighted],
-            dtype=np.intp,
-        )
-        for l, sh in la.shapers:
-            t_rate = sh.rate_fraction * capacity[l]
-            o_rate = (1.0 - sh.rate_fraction) * capacity[l]
-            tmask = _target_mask(sh.target_class).astype(float)
-            shapers.append(
-                (l, t_rate * dt, o_rate * dt,
-                 sh.buffer_seconds * t_rate, sh.buffer_seconds * o_rate,
-                 tmask)
+        def _compile_mechanisms(link_specs, prev_tokens, prev_policed):
+            """Lower link specs to the loop's per-mechanism constants.
+
+            Pure (no RNG): called once at start and again whenever a
+            session swaps specs at an interval boundary. Token
+            buckets carry over for links that stay policed (clipped
+            to the new bucket depth); newly policed links start with
+            a full bucket, exactly like a fresh run.
+            """
+            la = build_link_arrays(link_ids, link_specs)
+            capacity = la.capacity_pps
+            inv_capacity = 1.0 / capacity
+            cap_dt = capacity * dt
+            buffers = la.buffer_packets
+            # Per-mechanism constants: (link, rate, bucket/buffer,
+            # target mask over paths as bool and float).
+            policers = []
+            for l, pol in la.policers:
+                rate = pol.rate_fraction * capacity[l]
+                tmask = _target_mask(pol.target_class)
+                policers.append(
+                    (l, rate * dt, pol.burst_seconds * rate, tmask,
+                     tmask.astype(float))
+                )
+            tokens = np.zeros(num_links)
+            for l, _rate_dt, bucket, _m, _mf in policers:
+                if prev_tokens is not None and l in prev_policed:
+                    tokens[l] = min(float(prev_tokens[l]), bucket)
+                else:
+                    tokens[l] = bucket
+            shapers = []
+            # Links whose traffic bypasses the common droptail queue:
+            # dual shapers and weighted-service links both keep their
+            # own pair of virtual queues (shaper_tq / shaper_oq).
+            shaper_links = np.array(
+                [l for l, _ in la.shapers] + [l for l, _ in la.weighted],
+                dtype=np.intp,
             )
-        weighted = []
-        for l, ws in la.weighted:
-            t_rate = ws.weight * capacity[l]
-            o_rate = (1.0 - ws.weight) * capacity[l]
-            weighted.append(
-                (l, t_rate * dt, o_rate * dt, capacity[l] * dt,
-                 ws.buffer_seconds * t_rate, ws.buffer_seconds * o_rate,
-                 _target_mask(ws.target_class).astype(float))
+            for l, sh in la.shapers:
+                t_rate = sh.rate_fraction * capacity[l]
+                o_rate = (1.0 - sh.rate_fraction) * capacity[l]
+                tmask = _target_mask(sh.target_class).astype(float)
+                shapers.append(
+                    (l, t_rate * dt, o_rate * dt,
+                     sh.buffer_seconds * t_rate, sh.buffer_seconds * o_rate,
+                     tmask)
+                )
+            weighted = []
+            for l, ws in la.weighted:
+                t_rate = ws.weight * capacity[l]
+                o_rate = (1.0 - ws.weight) * capacity[l]
+                weighted.append(
+                    (l, t_rate * dt, o_rate * dt, capacity[l] * dt,
+                     ws.buffer_seconds * t_rate, ws.buffer_seconds * o_rate,
+                     _target_mask(ws.target_class).astype(float))
+                )
+            aqms = []
+            for l, aq in la.aqms:
+                ramp = (
+                    aq.max_threshold_fraction - aq.min_threshold_fraction
+                ) * buffers[l]
+                tmask = _target_mask(aq.target_class)
+                aqms.append(
+                    (l, aq.min_threshold_fraction * buffers[l], ramp,
+                     aq.max_drop_probability, tmask, tmask.astype(float))
+                )
+            has_shapers = bool(shapers) or bool(weighted)
+            policed = frozenset(l for l, *_ in policers)
+            # Per-dual-queue service shares (of capacity), for moving
+            # standing backlog between the common droptail queue and
+            # the virtual queues when a swap changes a link's
+            # mechanism family.
+            dual_shares = {l: (sh.rate_fraction, 1.0 - sh.rate_fraction)
+                           for l, sh in la.shapers}
+            dual_shares.update(
+                (l, (ws.weight, 1.0 - ws.weight)) for l, ws in la.weighted
             )
-        aqms = []
-        for l, aq in la.aqms:
-            ramp = (
-                aq.max_threshold_fraction - aq.min_threshold_fraction
-            ) * buffers[l]
-            tmask = _target_mask(aq.target_class)
-            aqms.append(
-                (l, aq.min_threshold_fraction * buffers[l], ramp,
-                 aq.max_drop_probability, tmask, tmask.astype(float))
+            return (
+                inv_capacity, cap_dt, buffers, policers, tokens,
+                shapers, weighted, aqms, shaper_links, has_shapers,
+                policed, dual_shares,
             )
+
+        (
+            inv_capacity, cap_dt, buffers, policers, tokens, shapers,
+            weighted, aqms, shaper_links, has_shapers, policed,
+            dual_shares,
+        ) = _compile_mechanisms(self._link_specs, None, frozenset())
 
         # --- slot / TCP state ------------------------------------------
         slots = SlotArrays(self._workloads, path_ids, rng)
@@ -348,18 +441,16 @@ class FluidNetwork:
             np.nonzero(spath == p)[0] for p in range(num_paths)
         ]
 
-        # --- accumulators / outputs ------------------------------------
+        # --- accumulators ----------------------------------------------
+        # Per-interval outputs are yielded to the session (which
+        # collects them), so only the within-interval accumulators
+        # live here.
         slot_sent_acc = np.zeros(num_slots)
         slot_lost_acc = np.zeros(num_slots)
         rtt_acc = np.zeros(num_paths)
         link_arr_acc = np.zeros((num_links, num_paths))
         link_drop_acc = np.zeros((num_links, num_paths))
-        sent_out = np.zeros((num_paths, num_intervals))
-        lost_out = np.zeros((num_paths, num_intervals))
-        rtt_out = np.zeros((num_paths, num_intervals))
-        link_arr_out = np.zeros((num_links, num_classes, num_intervals))
-        link_drop_out = np.zeros((num_links, num_classes, num_intervals))
-        queue_occ_out = np.zeros((num_links, num_intervals))
+        session._bind(slots, spath)
 
         # --- per-step scratch ------------------------------------------
         arrivals = np.zeros((num_links, num_paths))
@@ -376,7 +467,6 @@ class FluidNetwork:
         jitter_pos = _JITTER_BLOCK_STEPS
         jitter_cv = self._send_jitter_cv
         jitter_shape = 1.0 / (jitter_cv * jitter_cv) if jitter_cv > 0 else 0.0
-        has_shapers = bool(shapers) or bool(weighted)
         # Earliest pending flow start among idle slots, so quiet steps
         # skip the start scan with one float comparison.
         next_start_min = float(slots.next_start.min())
@@ -398,7 +488,43 @@ class FluidNetwork:
                 burst_dirty = True
             return buf, True
 
-        for step in range(total_steps):
+        step = 0
+        while True:
+            if session._pending_specs is not None and (
+                step == 0
+                or (
+                    step >= warmup_steps
+                    and (step - warmup_steps) % steps_per_interval == 0
+                )
+            ):
+                old_dual = dual_shares
+                (
+                    inv_capacity, cap_dt, buffers, policers, tokens,
+                    shapers, weighted, aqms, shaper_links, has_shapers,
+                    policed, dual_shares,
+                ) = _compile_mechanisms(
+                    session._pending_specs, tokens, policed
+                )
+                # Standing backlog follows the link's queueing
+                # discipline across the swap: a link that stops
+                # running a dual mechanism folds its virtual queues
+                # back into the common droptail queue (the next
+                # overfull check clamps any excess), and a link that
+                # starts one hands its droptail backlog to the
+                # virtual queues split by their service shares — no
+                # buffered traffic is stranded or double-served.
+                for l in old_dual:
+                    if l not in dual_shares:
+                        queue[l] += shaper_tq[l] + shaper_oq[l]
+                        shaper_tq[l] = 0.0
+                        shaper_oq[l] = 0.0
+                for l, (t_share, o_share) in dual_shares.items():
+                    if l not in old_dual and queue[l] > 0.0:
+                        shaper_tq[l] += queue[l] * t_share
+                        shaper_oq[l] += queue[l] * o_share
+                        queue[l] = 0.0
+                self._link_specs = session._pending_specs
+                session._pending_specs = None
             now = step * dt
             measuring = step >= warmup_steps
 
@@ -669,43 +795,188 @@ class FluidNetwork:
                     slot_lost_acc += lost
                 link_arr_acc += arrivals
 
-                # 7. Close the interval.
+                # 7. Close the interval: hand the session this
+                #    interval's columns and reset the accumulators.
                 if (step - warmup_steps + 1) % steps_per_interval == 0:
-                    k = (step - warmup_steps) // steps_per_interval
-                    sent_out[:, k] = np.bincount(
-                        spath, weights=slot_sent_acc, minlength=num_paths
+                    yield (
+                        np.bincount(
+                            spath,
+                            weights=slot_sent_acc,
+                            minlength=num_paths,
+                        ),
+                        np.bincount(
+                            spath,
+                            weights=slot_lost_acc,
+                            minlength=num_paths,
+                        ),
+                        rtt_acc / steps_per_interval,
+                        link_arr_acc @ class_onehot,
+                        link_drop_acc @ class_onehot,
+                        queue + shaper_tq + shaper_oq,
                     )
-                    lost_out[:, k] = np.bincount(
-                        spath, weights=slot_lost_acc, minlength=num_paths
-                    )
-                    rtt_out[:, k] = rtt_acc / steps_per_interval
-                    link_arr_out[:, :, k] = link_arr_acc @ class_onehot
-                    link_drop_out[:, :, k] = link_drop_acc @ class_onehot
-                    queue_occ_out[:, k] = queue + shaper_tq + shaper_oq
                     slot_sent_acc[:] = 0.0
                     slot_lost_acc[:] = 0.0
                     rtt_acc[:] = 0.0
                     link_arr_acc[:] = 0.0
                     link_drop_acc[:] = 0.0
+            step += 1
 
-        # --- package results -------------------------------------------
+
+class FluidSession:
+    """A resumable fluid emulation, advanced N intervals at a time.
+
+    Created by :meth:`FluidNetwork.session`. Advancing a session in
+    any segmentation produces *bit-identical* records to a one-shot
+    :meth:`FluidNetwork.run` of the same total length (the loop and
+    its RNG stream are shared; segmentation only changes where the
+    generator pauses). Between segments the session accepts link-spec
+    swaps, which take effect at the next interval boundary — the
+    substrate hook behind the streaming monitor's mid-run
+    differentiation onset/offset scenarios.
+    """
+
+    def __init__(
+        self,
+        sim: FluidNetwork,
+        dt: float,
+        interval_seconds: float,
+        warmup_seconds: float,
+        keep_ground_truth: bool = True,
+    ) -> None:
+        steps_per_interval = int(round(interval_seconds / dt))
+        if steps_per_interval < 1 or abs(
+            steps_per_interval * dt - interval_seconds
+        ) > 1e-9:
+            raise EmulationError(
+                f"dt={dt} must divide interval_seconds={interval_seconds}"
+            )
+        self._sim = sim
+        self.interval_seconds = float(interval_seconds)
+        self._steps_per_interval = steps_per_interval
+        self._keep_history = bool(keep_ground_truth)
+        self._pending_specs: Optional[Dict[str, FluidLinkSpec]] = None
+        self._gen = sim._interval_loop(
+            self, dt, steps_per_interval, int(round(warmup_seconds / dt))
+        )
+        self._slots = None
+        self._spath = None
+        path_ids = list(sim._net.path_ids)
+        self._path_ids = path_ids
+        self._measured_rows = np.array(
+            [
+                p
+                for p, pid in enumerate(path_ids)
+                if sim._workloads[pid].measured
+            ],
+            dtype=np.intp,
+        )
+        self._measured_ids = tuple(
+            path_ids[p] for p in self._measured_rows.tolist()
+        )
+        if not self._measured_ids:
+            raise EmulationError("no measured paths in the workload")
+        self._sent_cols: List[np.ndarray] = []
+        self._lost_cols: List[np.ndarray] = []
+        self._rtt_cols: List[np.ndarray] = []
+        self._arr_cols: List[np.ndarray] = []
+        self._drop_cols: List[np.ndarray] = []
+        self._occ_cols: List[np.ndarray] = []
+        self.intervals_done = 0
+
+    def _bind(self, slots, spath) -> None:
+        """Called by the loop once its state exists (first advance)."""
+        self._slots = slots
+        self._spath = spath
+
+    def set_link_specs(
+        self, link_specs: Mapping[str, FluidLinkSpec] = None
+    ) -> None:
+        """Swap the per-link specs at the next interval boundary.
+
+        The mapping is validated and completed exactly like the
+        constructor's (unspecified links revert to defaults). Queues
+        and in-flight flow state carry over; token buckets persist
+        for links that stay policed and start full for newly policed
+        links.
+        """
+        self._pending_specs = self._sim._complete_specs(link_specs)
+
+    def advance(self, num_intervals: int) -> RecordChunk:
+        """Emulate ``num_intervals`` more measurement intervals.
+
+        Returns:
+            The new intervals' measured-path records (the same
+            integer counters the final :meth:`result` will contain
+            for this span).
+        """
+        if num_intervals < 1:
+            raise EmulationError("must advance by at least one interval")
+        start = self.intervals_done
+        new_sent: List[np.ndarray] = []
+        new_lost: List[np.ndarray] = []
+        for _ in range(int(num_intervals)):
+            sent, lost, rtt, arr, drop, occ = next(self._gen)
+            new_sent.append(sent)
+            new_lost.append(lost)
+            if self._keep_history:
+                self._sent_cols.append(sent)
+                self._lost_cols.append(lost)
+                self._rtt_cols.append(rtt)
+                self._arr_cols.append(arr)
+                self._drop_cols.append(drop)
+                self._occ_cols.append(occ)
+        self.intervals_done = start + int(num_intervals)
+        return chunk_from_columns(
+            self._measured_ids,
+            new_sent,
+            new_lost,
+            self._measured_rows,
+            self.interval_seconds,
+            start,
+        )
+
+    def result(self) -> FluidResult:
+        """Package everything emulated so far as a :class:`FluidResult`.
+
+        Identical to what :meth:`FluidNetwork.run` would have
+        returned for the same total number of intervals.
+        """
+        if self.intervals_done == 0:
+            raise EmulationError("no intervals emulated yet")
+        if not self._keep_history:
+            raise EmulationError(
+                "ground-truth history was discarded "
+                "(keep_ground_truth=False); no result to package"
+            )
+        sim = self._sim
+        path_ids = self._path_ids
+        link_ids = list(sim._net.link_ids)
+        class_names = sim._classes.names
+        num_paths = len(path_ids)
+        sent_out = np.stack(self._sent_cols, axis=1)
+        lost_out = np.stack(self._lost_cols, axis=1)
+        rtt_out = np.stack(self._rtt_cols, axis=1)
+        link_arr_out = np.stack(self._arr_cols, axis=2)
+        link_drop_out = np.stack(self._drop_cols, axis=2)
+        queue_occ_out = np.stack(self._occ_cols, axis=1)
+
         records = []
         flows_by_path = np.bincount(
-            spath, weights=slots.flows_completed, minlength=num_paths
+            self._spath,
+            weights=self._slots.flows_completed,
+            minlength=num_paths,
         )
         flows_completed = {
             pid: int(flows_by_path[p]) for p, pid in enumerate(path_ids)
         }
         for p, pid in enumerate(path_ids):
-            if not self._workloads[pid].measured:
+            if not sim._workloads[pid].measured:
                 continue
             sent_i = np.rint(sent_out[p]).astype(np.int64)
             lost_i = np.minimum(
                 np.rint(lost_out[p]).astype(np.int64), sent_i
             )
             records.append(PathRecord(pid, sent_i, lost_i))
-        if not records:
-            raise EmulationError("no measured paths in the workload")
         link_arr = {
             lid: {
                 cn: link_arr_out[l, c]
@@ -727,11 +998,11 @@ class FluidNetwork:
             pid: rtt_out[p] for p, pid in enumerate(path_ids)
         }
         return FluidResult(
-            measurements=MeasurementData(records, interval_seconds),
+            measurements=MeasurementData(records, self.interval_seconds),
             link_class_arrivals=link_arr,
             link_class_drops=link_drop,
             queue_occupancy=queue_occ,
-            interval_seconds=interval_seconds,
+            interval_seconds=self.interval_seconds,
             flows_completed=flows_completed,
             path_rtt_seconds=rtt_by_path,
         )

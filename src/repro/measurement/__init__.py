@@ -35,7 +35,12 @@ from repro.measurement.normalize import (
     slice_observations,
 )
 from repro.measurement.synthetic import synthesize_records
-from repro.measurement.records import MeasurementData, PathRecord, from_arrays
+from repro.measurement.records import (
+    MeasurementData,
+    PathRecord,
+    RecordChunk,
+    from_arrays,
+)
 
 __all__ = [
     "DEFAULT_DEFINITE",
@@ -45,6 +50,7 @@ __all__ = [
     "ClusterSplit",
     "MeasurementData",
     "PathRecord",
+    "RecordChunk",
     "classify_scores",
     "cluster_decider",
     "congestion_free_matrix",

@@ -55,13 +55,16 @@ _POPCOUNT = np.array(
 )
 
 
+def _popcount_bytes(packed: np.ndarray) -> np.ndarray:
+    """Elementwise set-bit counts of a packed uint8 array."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(packed)
+    return _POPCOUNT[packed]  # pragma: no cover - NumPy 1.x only
+
+
 def _popcount_rows(packed: np.ndarray) -> np.ndarray:
     """Row-wise set-bit counts of a packed uint8 matrix."""
-    if hasattr(np, "bitwise_count"):
-        bits = np.bitwise_count(packed)
-    else:  # pragma: no cover - exercised only on NumPy 1.x
-        bits = _POPCOUNT[packed]
-    return bits.sum(axis=1, dtype=np.int64)
+    return _popcount_bytes(packed).sum(axis=1, dtype=np.int64)
 
 
 def _check_args(

@@ -9,12 +9,75 @@ exactly the inputs of the paper's Algorithm 2. Both emulators emit
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import MeasurementError
+
+
+@dataclass(frozen=True)
+class RecordChunk:
+    """A contiguous run of intervals for a fixed set of paths.
+
+    The unit of the streaming layer: substrate sessions emit one
+    chunk per :meth:`advance` call and replay adapters slice stored
+    :class:`MeasurementData` into chunks. Rows are aligned with
+    :attr:`path_ids` (sorted ids, like the stacked matrices).
+
+    Attributes:
+        path_ids: Monitored paths, in row order.
+        sent: ``(|paths|, n)`` packets sent per interval.
+        lost: ``(|paths|, n)`` packets lost, aligned with ``sent``.
+        interval_seconds: Length of each interval.
+        start_interval: Absolute index of the chunk's first interval
+            within its stream.
+    """
+
+    path_ids: Tuple[str, ...]
+    sent: np.ndarray
+    lost: np.ndarray
+    interval_seconds: float
+    start_interval: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sent.shape != self.lost.shape or self.sent.ndim != 2:
+            raise MeasurementError(
+                f"chunk matrices must be 2-D and aligned, got "
+                f"{self.sent.shape} vs {self.lost.shape}"
+            )
+        if self.sent.shape[0] != len(self.path_ids):
+            raise MeasurementError(
+                f"chunk has {self.sent.shape[0]} rows for "
+                f"{len(self.path_ids)} paths"
+            )
+
+    @property
+    def num_intervals(self) -> int:
+        return int(self.sent.shape[1])
+
+    @property
+    def end_interval(self) -> int:
+        """One past the chunk's last absolute interval index."""
+        return self.start_interval + self.num_intervals
+
+    def sent_by_path(self) -> Dict[str, np.ndarray]:
+        return {pid: self.sent[i] for i, pid in enumerate(self.path_ids)}
+
+    def lost_by_path(self) -> Dict[str, np.ndarray]:
+        return {pid: self.lost[i] for i, pid in enumerate(self.path_ids)}
+
+    def to_measurement_data(self) -> "MeasurementData":
+        """The chunk alone as a :class:`MeasurementData`."""
+        return MeasurementData(
+            [
+                PathRecord(pid, self.sent[i], self.lost[i])
+                for i, pid in enumerate(self.path_ids)
+            ],
+            self.interval_seconds,
+        )
 
 
 @dataclass
@@ -61,6 +124,35 @@ class PathRecord:
         with np.errstate(divide="ignore", invalid="ignore"):
             frac = np.where(self.sent > 0, self.lost / self.sent, 0.0)
         return frac
+
+
+def chunk_from_columns(
+    path_ids: Tuple[str, ...],
+    sent_cols: "list[np.ndarray]",
+    lost_cols: "list[np.ndarray]",
+    rows: np.ndarray,
+    interval_seconds: float,
+    start_interval: int,
+) -> RecordChunk:
+    """Integer measured-path records from per-interval columns.
+
+    The one place both engine sessions derive their stream chunks, so
+    rounding (``rint``) and the ``lost ≤ sent`` clamp cannot drift
+    between substrates. ``rows`` selects the measured paths (aligned
+    with ``path_ids``); integer columns pass through unchanged.
+    """
+    sent = np.rint(np.stack(sent_cols, axis=1)[rows]).astype(np.int64)
+    lost = np.minimum(
+        np.rint(np.stack(lost_cols, axis=1)[rows]).astype(np.int64),
+        sent,
+    )
+    return RecordChunk(
+        path_ids=path_ids,
+        sent=sent,
+        lost=lost,
+        interval_seconds=interval_seconds,
+        start_interval=start_interval,
+    )
 
 
 class MeasurementData:
@@ -176,6 +268,105 @@ class MeasurementData:
         """Records restricted to the given paths."""
         return MeasurementData(
             [self.record(pid) for pid in path_ids], self.interval_seconds
+        )
+
+    def append_intervals(
+        self,
+        sent: Mapping[str, np.ndarray],
+        lost: Mapping[str, np.ndarray],
+    ) -> None:
+        """Extend every path's records by new intervals, in place.
+
+        This is the *only* sanctioned way to grow a
+        :class:`MeasurementData`: it validates the extension (same
+        path set, equal added lengths, counters consistent) and
+        drops the cached stacked matrices, which would otherwise
+        serve stale pre-append views to the normalization layer.
+
+        Args:
+            sent: ``{path_id: new sent counters}`` covering exactly
+                this data's paths.
+            lost: Same shape, the matching lost counters.
+
+        Raises:
+            MeasurementError: On a path-set mismatch, ragged added
+                lengths, or invalid counters.
+        """
+        if set(sent) != set(self._records) or set(lost) != set(sent):
+            raise MeasurementError(
+                "appended intervals must cover exactly the recorded "
+                f"paths {sorted(self._records)}"
+            )
+        added = {
+            pid: np.asarray(sent[pid]).shape for pid in self._records
+        }
+        if len(set(added.values())) != 1:
+            raise MeasurementError(
+                f"appended interval counts differ across paths: {added}"
+            )
+        extended = {
+            pid: PathRecord(
+                pid,
+                np.concatenate([rec.sent, np.asarray(sent[pid])]),
+                np.concatenate([rec.lost, np.asarray(lost[pid])]),
+            )
+            for pid, rec in self._records.items()
+        }
+        # All-or-nothing: only commit once every record validated.
+        self._records = extended
+        self._num_intervals = next(iter(extended.values())).num_intervals
+        self._row_of = None
+        self._sent_matrix = None
+        self._lost_matrix = None
+
+    def append_chunk(self, chunk: RecordChunk) -> None:
+        """Append a :class:`RecordChunk` (streaming convenience)."""
+        self.append_intervals(chunk.sent_by_path(), chunk.lost_by_path())
+
+    @staticmethod
+    def _checkpoint_path(path: str) -> str:
+        """Normalize to the ``.npz`` suffix ``np.savez`` enforces, so
+        the same path string round-trips through save → load."""
+        path = str(path)
+        return path if path.endswith(".npz") else path + ".npz"
+
+    def save(self, path: str) -> None:
+        """Checkpoint to a compressed ``.npz`` file.
+
+        Stores the stacked counters, the path ids, and the interval
+        length — everything :meth:`load` needs to reconstruct an
+        identical object, so long monitoring runs can checkpoint and
+        replay their record streams. A missing ``.npz`` suffix is
+        added (numpy enforces it on write; normalizing here keeps
+        ``load(path)`` working with the identical string).
+        """
+        np.savez_compressed(
+            self._checkpoint_path(path),
+            path_ids=np.array(self.path_ids, dtype=np.str_),
+            sent=self.sent_matrix,
+            lost=self.lost_matrix,
+            interval_seconds=np.array(self.interval_seconds),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "MeasurementData":
+        """Reload a checkpoint written by :meth:`save`."""
+        try:
+            with np.load(cls._checkpoint_path(path)) as payload:
+                path_ids = [str(pid) for pid in payload["path_ids"]]
+                sent = payload["sent"]
+                lost = payload["lost"]
+                interval_seconds = float(payload["interval_seconds"])
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+            raise MeasurementError(
+                f"cannot load measurement data from {path!r}: {exc}"
+            ) from exc
+        return cls(
+            [
+                PathRecord(pid, sent[i], lost[i])
+                for i, pid in enumerate(path_ids)
+            ],
+            interval_seconds,
         )
 
     def rebinned(self, factor: int) -> "MeasurementData":

@@ -1,0 +1,59 @@
+"""Streaming monitor: incremental Algorithm 1/2 over live record streams.
+
+The offline pipeline emulates a whole experiment and infers once over
+the full record matrix. This package turns that into an *online*
+monitor in four layers:
+
+* :mod:`repro.streaming.stream` — record streams: replay a stored
+  :class:`~repro.measurement.records.MeasurementData` in chunks, or
+  drive either emulation substrate in segment mode (emulate N
+  intervals, yield, continue from carried state — including mid-run
+  differentiation policy switches).
+* :mod:`repro.streaming.window` — incremental sufficient statistics
+  for Algorithm 2 over sliding/tumbling windows: per-path
+  congestion-status prefix sums and bit-packed status rows updated in
+  O(new intervals), reusing the network's memoized
+  :class:`~repro.core.slices.SliceSystemBatch` across window
+  advances.
+* :mod:`repro.streaming.monitor` — the
+  :class:`~repro.streaming.monitor.NeutralityMonitor`: a rolling
+  :class:`~repro.core.algorithm.AlgorithmResult` per window plus a
+  CUSUM change-point detector that timestamps when each pathset
+  family flips neutral ↔ non-neutral.
+* :mod:`repro.streaming.fleet` — a sharded multi-scenario runner on
+  :class:`~repro.experiments.sweep.SweepRunner`'s worker pool that
+  monitors many topology/policy scenarios concurrently and
+  aggregates their verdict timelines.
+
+See DESIGN.md S18 for window semantics and cache-reuse rules.
+"""
+
+from repro.streaming.fleet import (
+    MonitorFleet,
+    MonitorOutcome,
+    MonitorTask,
+    run_monitor_task,
+)
+from repro.streaming.monitor import (
+    ChangePoint,
+    MonitorReport,
+    NeutralityMonitor,
+    WindowVerdict,
+)
+from repro.streaming.stream import EmulationStream, RecordStream, ReplayStream
+from repro.streaming.window import SlidingWindowStats
+
+__all__ = [
+    "ChangePoint",
+    "EmulationStream",
+    "MonitorFleet",
+    "MonitorOutcome",
+    "MonitorReport",
+    "MonitorTask",
+    "NeutralityMonitor",
+    "RecordStream",
+    "ReplayStream",
+    "SlidingWindowStats",
+    "WindowVerdict",
+    "run_monitor_task",
+]

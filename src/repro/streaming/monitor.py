@@ -1,0 +1,470 @@
+"""The streaming neutrality monitor: rolling verdicts + change points.
+
+:class:`NeutralityMonitor` consumes a record stream chunk by chunk
+and, every ``stride`` intervals, runs the full windowed inference —
+Algorithm 2 over the window via
+:class:`~repro.streaming.window.SlidingWindowStats`, then the
+score-based Algorithm 1 (:func:`~repro.core.algorithm.
+identify_from_scores` with the standard cluster decider) — emitting
+one :class:`WindowVerdict` per window.
+
+On top of the per-window verdicts, a per-sequence **CUSUM** detector
+timestamps when each pathset family flips neutral ↔ non-neutral:
+
+* in the neutral state the statistic accumulates
+  ``max(0, s + score − reference)`` and an *onset*
+  :class:`ChangePoint` fires when it crosses ``threshold``;
+* in the non-neutral state the mirrored statistic accumulates
+  ``max(0, s + reference − score)`` and fires an *offset*.
+
+``reference`` defaults to the decider's ``definite`` bar
+(:data:`~repro.measurement.clustering.DEFAULT_DEFINITE`): a neutral
+window's unsolvability score sits well below it, so the statistic
+stays pinned at zero until differentiation actually begins — the
+monitor cannot flag an onset before it happens — while a strong
+violation (scores several times the reference) crosses within one or
+two windows of the switch. The classical CUSUM change-point estimate
+(the window after the statistic last left zero) is recorded alongside
+the flagging window.
+
+For retrospective localization over a finished score series,
+:func:`two_means_change_point` applies the paper's two-means split to
+the per-window scores of one sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import compress
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.algorithm import (
+    DEFAULT_MIN_PATHSETS,
+    AlgorithmResult,
+    remove_redundant,
+)
+from repro.core.network import LinkSeq, Network
+from repro.core.slices import batch_unsolvability_arrays
+from repro.exceptions import ConfigurationError, MeasurementError
+from repro.experiments.config import EmulationSettings
+from repro.measurement.clustering import two_means_split
+from repro.measurement.records import RecordChunk
+from repro.streaming.window import SlidingWindowStats
+
+#: Default verdict cadence (intervals) when neither a window length
+#: nor a stride is configured.
+DEFAULT_STRIDE = 50
+
+
+@dataclass(frozen=True)
+class WindowVerdict:
+    """One window's full inference output.
+
+    Attributes:
+        index: Window position in the monitor's timeline.
+        start_interval / end_interval: The window ``[start, end)``.
+        scores: Unsolvability score per examined sequence.
+        result: Algorithm 1's result on this window.
+    """
+
+    index: int
+    start_interval: int
+    end_interval: int
+    scores: Dict[LinkSeq, float]
+    #: ``None`` marks an *uninformative* window: no interval had
+    #: traffic on every path of some slice family, so nothing could
+    #: be normalized. Change-point states carry over unchanged.
+    result: Optional[AlgorithmResult]
+
+    @property
+    def informative(self) -> bool:
+        return self.result is not None
+
+    @property
+    def non_neutral(self) -> bool:
+        return self.result is not None and bool(self.result.identified)
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """A detected neutral ↔ non-neutral flip of one sequence.
+
+    Attributes:
+        sigma: The link sequence whose state flipped.
+        kind: ``"onset"`` (neutral → non-neutral) or ``"offset"``.
+        window_index: The window at which the CUSUM fired.
+        interval: That window's end interval (detection timestamp).
+        estimate_interval: The CUSUM change-point estimate — the end
+            interval of the window after the statistic last sat at
+            zero (where the level shift most plausibly began).
+    """
+
+    sigma: LinkSeq
+    kind: str
+    window_index: int
+    interval: int
+    estimate_interval: int
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Aggregated output of one monitoring run.
+
+    Attributes:
+        windows: Every emitted :class:`WindowVerdict`, in order.
+        change_points: CUSUM flips, in detection order.
+        sigmas: Examined sequences (column order of the timelines).
+        window_ends: ``(W,)`` end interval per window.
+        scores: ``(W, |sigmas|)`` per-window unsolvability scores.
+        flagged: ``(W, |sigmas|)`` CUSUM state after each window.
+        final: Algorithm 1 on the *whole* stream — identical to the
+            one-shot :func:`~repro.experiments.runner.
+            infer_from_measurements` verdict on the same records.
+        interval_seconds: Interval length (timestamps ×).
+    """
+
+    windows: Tuple[WindowVerdict, ...]
+    change_points: Tuple[ChangePoint, ...]
+    sigmas: Tuple[LinkSeq, ...]
+    window_ends: np.ndarray
+    scores: np.ndarray
+    flagged: np.ndarray
+    final: Optional[AlgorithmResult]
+    interval_seconds: float
+
+    def onset(self, sigma: LinkSeq) -> Optional[ChangePoint]:
+        """The first onset change point of ``sigma``, if any."""
+        for cp in self.change_points:
+            if cp.sigma == sigma and cp.kind == "onset":
+                return cp
+        return None
+
+    def detection_delay(
+        self, sigma: LinkSeq, true_interval: int
+    ) -> Optional[int]:
+        """Intervals from a true change at ``true_interval`` until
+        ``sigma`` was first flagged (None if never flagged)."""
+        cp = self.onset(sigma)
+        if cp is None:
+            return None
+        return int(cp.interval) - int(true_interval)
+
+
+def two_means_change_point(
+    scores: Sequence[float],
+    min_absolute: float = None,
+    min_ratio: float = None,
+) -> Optional[int]:
+    """Retrospective change-point estimate via the paper's two-means.
+
+    Splits one sequence's per-window score series into low/high
+    clusters; when the split is separated, returns the index of the
+    first window in the high cluster. ``None`` means no level shift.
+    """
+    kwargs = {}
+    if min_absolute is not None:
+        kwargs["min_absolute"] = min_absolute
+    if min_ratio is not None:
+        kwargs["min_ratio"] = min_ratio
+    arr = np.asarray(list(scores), dtype=float)
+    if arr.size < 2:
+        return None
+    split = two_means_split(arr, **kwargs)
+    if not split.separated:
+        return None
+    above = np.flatnonzero(arr > split.threshold)
+    return int(above[0]) if above.size else None
+
+
+class _CusumState:
+    __slots__ = ("flagged", "stat", "last_zero")
+
+    def __init__(self) -> None:
+        self.flagged = False
+        self.stat = 0.0
+        self.last_zero = -1
+
+
+class NeutralityMonitor:
+    """Online neutrality inference over a record stream.
+
+    Args:
+        net: The inference graph (measured paths only).
+        settings: Thresholds and decider knobs (only
+            expected-mode normalization streams; see
+            :mod:`repro.streaming.window`).
+        window_intervals: Sliding-window length; ``None`` grows the
+            window from the stream start (cumulative verdicts).
+        stride: Verdict cadence in intervals (default: the window
+            length, i.e. tumbling windows; or
+            :data:`DEFAULT_STRIDE` for growing windows).
+        min_pathsets: Algorithm 1's line-10 threshold.
+        cusum_reference: CUSUM drift reference (default: the
+            decider's ``definite`` bar).
+        cusum_threshold: CUSUM firing threshold (default: same bar).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        settings: EmulationSettings = EmulationSettings(),
+        window_intervals: Optional[int] = None,
+        stride: Optional[int] = None,
+        min_pathsets: int = DEFAULT_MIN_PATHSETS,
+        cusum_reference: Optional[float] = None,
+        cusum_threshold: Optional[float] = None,
+    ) -> None:
+        if settings.normalization_mode != "expected":
+            raise ConfigurationError(
+                "the streaming monitor requires expected-mode "
+                "normalization (sampled draws are not incremental)"
+            )
+        if window_intervals is not None and window_intervals < 1:
+            raise ConfigurationError(
+                f"window_intervals must be >= 1, got {window_intervals}"
+            )
+        self.stats = SlidingWindowStats(
+            net,
+            min_pathsets=min_pathsets,
+            loss_threshold=settings.loss_threshold,
+            interval_seconds=settings.interval_seconds,
+        )
+        self._min_absolute = settings.decider_min_absolute
+        self._min_ratio = settings.decider_min_ratio
+        self._definite = settings.decider_definite
+        self.window_intervals = window_intervals
+        self.stride = int(
+            stride
+            if stride is not None
+            else (window_intervals or DEFAULT_STRIDE)
+        )
+        if self.stride < 1:
+            raise ConfigurationError(
+                f"stride must be >= 1, got {self.stride}"
+            )
+        self._reference = float(
+            cusum_reference
+            if cusum_reference is not None
+            else settings.decider_definite
+        )
+        self._threshold = float(
+            cusum_threshold
+            if cusum_threshold is not None
+            else settings.decider_definite
+        )
+        self.windows: List[WindowVerdict] = []
+        self.change_points: List[ChangePoint] = []
+        self._cusum: Dict[LinkSeq, _CusumState] = {
+            sigma: _CusumState() for sigma in self.stats.batch.sigmas
+        }
+        self._score_rows: List[np.ndarray] = []
+        self._flag_rows: List[np.ndarray] = []
+        self._next_end = int(window_intervals or self.stride)
+        self.interval_seconds = settings.interval_seconds
+        # Per-window tail amortization: the examined sequences never
+        # change, so the systems dict is shared across verdicts and
+        # the §5 redundancy pruning is memoized per identified set
+        # (it usually only changes at change points).
+        self._systems = self.stats.batch.systems_dict()
+        self._prune_cache: Dict[
+            Tuple[LinkSeq, ...], Tuple[LinkSeq, ...]
+        ] = {}
+
+    # ------------------------------------------------------------------
+
+    def _classify_array(self, score_array: np.ndarray) -> np.ndarray:
+        """Array form of :func:`~repro.measurement.clustering.
+        classify_scores` (identical semantics on the same knobs): a
+        2-means split over all scores; in a separated split the high
+        cluster is unsolvable; the ``definite`` bar always is."""
+        if score_array.size == 0:
+            return np.zeros(0, dtype=bool)
+        split = two_means_split(
+            score_array,
+            min_absolute=self._min_absolute,
+            min_ratio=self._min_ratio,
+        )
+        if not split.separated:
+            return score_array >= self._definite
+        return (score_array > split.threshold) | (
+            score_array >= self._definite
+        )
+
+    def _prune(
+        self, identified_raw: Tuple[LinkSeq, ...]
+    ) -> Tuple[LinkSeq, ...]:
+        cached = self._prune_cache.get(identified_raw)
+        if cached is None:
+            cached = remove_redundant(
+                identified_raw, self.stats.batch.sigmas
+            )
+            self._prune_cache[identified_raw] = cached
+        return cached
+
+    def evaluate_window(
+        self, lo: int, hi: int
+    ) -> Tuple[Dict[LinkSeq, float], AlgorithmResult]:
+        """Run windowed Algorithm 2 + Algorithm 1 over ``[lo, hi)``
+        (without recording a timeline entry).
+
+        The same decide + prune tail as
+        :func:`~repro.core.algorithm.identify_from_scores`, with the
+        pruning memoized per identified set.
+
+        Raises:
+            MeasurementError: When the window has no interval with
+                traffic on every path of some slice family (nothing
+                to normalize — the caller decides how to degrade).
+        """
+        batch = self.stats.batch
+        y_single, y_pair_flat = self.stats.window_costs(lo, hi)
+        score_array = batch_unsolvability_arrays(
+            batch, y_single, y_pair_flat
+        )
+        scores = dict(zip(batch.sigmas, score_array.tolist()))
+        flagged = self._classify_array(score_array).tolist()
+        identified_raw = tuple(compress(batch.sigmas, flagged))
+        neutral = tuple(
+            compress(batch.sigmas, (not f for f in flagged))
+        )
+        result = AlgorithmResult(
+            identified=self._prune(identified_raw),
+            identified_raw=identified_raw,
+            neutral=neutral,
+            skipped=tuple(self.stats.skipped),
+            scores=scores,
+            systems=self._systems,
+        )
+        return scores, result
+
+    def _emit(self, end: int) -> WindowVerdict:
+        lo = (
+            0
+            if self.window_intervals is None
+            else max(0, end - self.window_intervals)
+        )
+        try:
+            scores, result = self.evaluate_window(lo, end)
+        except MeasurementError:
+            # No informative interval in the window (some slice path
+            # never saw traffic): emit a no-information verdict, keep
+            # every CUSUM state untouched.
+            return self._emit_uninformative(lo, end)
+        idx = len(self.windows)
+        verdict = WindowVerdict(
+            index=idx,
+            start_interval=lo,
+            end_interval=end,
+            scores=scores,
+            result=result,
+        )
+        self.windows.append(verdict)
+
+        sigmas = self.stats.batch.sigmas
+        flags = np.zeros(len(sigmas), dtype=bool)
+        for k, sigma in enumerate(sigmas):
+            st = self._cusum[sigma]
+            x = scores[sigma]
+            excursion = (
+                x - self._reference if not st.flagged
+                else self._reference - x
+            )
+            st.stat = max(0.0, st.stat + excursion)
+            if st.stat == 0.0:
+                st.last_zero = idx
+            elif st.stat > self._threshold:
+                estimate = self.windows[
+                    min(st.last_zero + 1, idx)
+                ].end_interval
+                self.change_points.append(
+                    ChangePoint(
+                        sigma=sigma,
+                        kind="offset" if st.flagged else "onset",
+                        window_index=idx,
+                        interval=end,
+                        estimate_interval=estimate,
+                    )
+                )
+                st.flagged = not st.flagged
+                st.stat = 0.0
+                st.last_zero = idx
+            flags[k] = st.flagged
+        self._score_rows.append(
+            np.array([scores[s] for s in sigmas], dtype=float)
+        )
+        self._flag_rows.append(flags)
+        return verdict
+
+    def _emit_uninformative(self, lo: int, end: int) -> WindowVerdict:
+        idx = len(self.windows)
+        verdict = WindowVerdict(
+            index=idx,
+            start_interval=lo,
+            end_interval=end,
+            scores={},
+            result=None,
+        )
+        self.windows.append(verdict)
+        sigmas = self.stats.batch.sigmas
+        self._score_rows.append(np.full(len(sigmas), np.nan))
+        self._flag_rows.append(
+            np.array(
+                [self._cusum[s].flagged for s in sigmas], dtype=bool
+            )
+        )
+        return verdict
+
+    def observe(self, chunk: RecordChunk) -> List[WindowVerdict]:
+        """Feed one stream chunk; returns any newly closed windows."""
+        self.stats.append(chunk)
+        emitted: List[WindowVerdict] = []
+        while self._next_end <= self.stats.num_intervals:
+            emitted.append(self._emit(self._next_end))
+            self._next_end += self.stride
+        return emitted
+
+    def run(self, stream) -> MonitorReport:
+        """Consume a whole record stream and report."""
+        total = getattr(stream, "total_intervals", None) or getattr(
+            stream, "num_intervals", None
+        )
+        if total:
+            self.stats.reserve(int(total))
+        for chunk in stream:
+            self.observe(chunk)
+        return self.report()
+
+    def report(self) -> MonitorReport:
+        """The timeline so far, plus the full-stream final verdict."""
+        sigmas = self.stats.batch.sigmas
+        num_windows = len(self.windows)
+        final = None
+        if self.stats.num_intervals > 0:
+            try:
+                _, final = self.evaluate_window(
+                    0, self.stats.num_intervals
+                )
+            except MeasurementError:
+                final = None  # whole stream uninformative
+        return MonitorReport(
+            windows=tuple(self.windows),
+            change_points=tuple(self.change_points),
+            sigmas=sigmas,
+            window_ends=np.array(
+                [w.end_interval for w in self.windows], dtype=np.int64
+            ),
+            scores=(
+                np.stack(self._score_rows)
+                if num_windows
+                else np.zeros((0, len(sigmas)))
+            ),
+            flagged=(
+                np.stack(self._flag_rows)
+                if num_windows
+                else np.zeros((0, len(sigmas)), dtype=bool)
+            ),
+            final=final,
+            interval_seconds=self.interval_seconds,
+        )

@@ -1,0 +1,174 @@
+"""Record streams: chunked sources of per-interval (sent, lost) counts.
+
+A *record stream* is any iterable of
+:class:`~repro.measurement.records.RecordChunk` values covering
+contiguous intervals ``0, 1, 2, …`` for a fixed path set, plus an
+``interval_seconds`` attribute. Two adapters are provided:
+
+* :class:`ReplayStream` — slices a stored
+  :class:`~repro.measurement.records.MeasurementData` into chunks
+  (replaying a checkpointed monitoring run, feeding goldens, tests).
+* :class:`EmulationStream` — drives a registered emulation substrate
+  in *segment mode*: emulate ``chunk_intervals`` measurement
+  intervals, yield their records, continue from carried engine
+  state. Scheduled link-spec switches realize mid-run
+  differentiation onset/offset scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Protocol, runtime_checkable
+
+from repro.core.classes import ClassAssignment
+from repro.core.network import Network
+from repro.exceptions import ConfigurationError, MeasurementError
+from repro.experiments.config import EmulationSettings
+from repro.fluid.params import PathWorkload
+from repro.measurement.records import MeasurementData, RecordChunk
+from repro.substrate.base import SubstrateResult, SubstrateSession
+from repro.substrate.registry import get_substrate
+from repro.substrate.spec import normalize_specs
+
+
+@runtime_checkable
+class RecordStream(Protocol):
+    """Structural contract of a record stream."""
+
+    interval_seconds: float
+
+    def __iter__(self) -> Iterator[RecordChunk]:
+        ...
+
+
+class ReplayStream:
+    """Replay a stored :class:`MeasurementData` in fixed-size chunks.
+
+    Args:
+        data: The records to replay.
+        chunk_intervals: Intervals per chunk (the final chunk may be
+            shorter).
+    """
+
+    def __init__(self, data: MeasurementData, chunk_intervals: int = 50):
+        if chunk_intervals < 1:
+            raise MeasurementError(
+                f"chunk_intervals must be >= 1, got {chunk_intervals}"
+            )
+        self._data = data
+        self._chunk = int(chunk_intervals)
+        self.interval_seconds = data.interval_seconds
+
+    @property
+    def num_intervals(self) -> int:
+        return self._data.num_intervals
+
+    def __iter__(self) -> Iterator[RecordChunk]:
+        data = self._data
+        path_ids = data.path_ids
+        sent = data.sent_matrix
+        lost = data.lost_matrix
+        total = data.num_intervals
+        for lo in range(0, total, self._chunk):
+            hi = min(lo + self._chunk, total)
+            yield RecordChunk(
+                path_ids=path_ids,
+                sent=sent[:, lo:hi],
+                lost=lost[:, lo:hi],
+                interval_seconds=self.interval_seconds,
+                start_interval=lo,
+            )
+
+
+class EmulationStream:
+    """A live record stream backed by a resumable substrate session.
+
+    Args:
+        net: The network graph (including background paths).
+        classes: Class assignment (differentiation targets).
+        link_specs: Initial per-link specs (shared or engine-native;
+            normalized once).
+        workloads: Per-path traffic.
+        settings: Emulation settings; ``duration_seconds`` fixes the
+            stream length unless ``total_intervals`` overrides it.
+        substrate: Registered substrate name.
+        chunk_intervals: Intervals emulated (and yielded) per chunk.
+        total_intervals: Stream length; defaults to
+            ``duration_seconds / interval_seconds``.
+        switches: ``{interval: link_specs}`` — at each boundary, the
+            emulation continues from carried state under the new
+            specs (the mid-run policy onset/offset hook). Interval 0
+            replaces the initial specs.
+        keep_ground_truth: ``False`` discards each interval's
+            ground-truth columns once its chunk is emitted (bounded
+            memory for long monitoring runs); :meth:`result` is then
+            unavailable.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        link_specs: Mapping[str, object],
+        workloads: Mapping[str, PathWorkload],
+        settings: EmulationSettings = EmulationSettings(),
+        substrate: str = "fluid",
+        chunk_intervals: int = 50,
+        total_intervals: Optional[int] = None,
+        switches: Optional[Mapping[int, Mapping[str, object]]] = None,
+        keep_ground_truth: bool = True,
+    ) -> None:
+        if chunk_intervals < 1:
+            raise ConfigurationError(
+                f"chunk_intervals must be >= 1, got {chunk_intervals}"
+            )
+        if total_intervals is None:
+            total_intervals = int(
+                round(settings.duration_seconds / settings.interval_seconds)
+            )
+        if total_intervals < 1:
+            raise ConfigurationError("stream shorter than one interval")
+        self._chunk = int(chunk_intervals)
+        self.total_intervals = int(total_intervals)
+        self.interval_seconds = settings.interval_seconds
+        self._switches: Dict[int, Mapping[str, object]] = dict(switches or {})
+        for at in self._switches:
+            if not 0 <= at < self.total_intervals:
+                raise ConfigurationError(
+                    f"switch interval {at} outside the stream "
+                    f"[0, {self.total_intervals})"
+                )
+        backend = get_substrate(substrate)
+        self.session: SubstrateSession = backend.start(
+            net,
+            classes,
+            normalize_specs(link_specs),
+            workloads,
+            settings,
+            keep_ground_truth=keep_ground_truth,
+        )
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[RecordChunk]:
+        if self._consumed:
+            raise ConfigurationError(
+                "an EmulationStream can only be iterated once "
+                "(the emulation state advances as it is consumed)"
+            )
+        self._consumed = True
+        switch_points = sorted(self._switches)
+        done = 0
+        while done < self.total_intervals:
+            if done in self._switches:
+                self.session.set_link_specs(self._switches[done])
+            upcoming = [at for at in switch_points if at > done]
+            next_stop = min(
+                upcoming[0] if upcoming else self.total_intervals,
+                self.total_intervals,
+            )
+            n = min(self._chunk, next_stop - done)
+            yield self.session.advance(n)
+            done += n
+
+    def result(self) -> SubstrateResult:
+        """The cumulative substrate result (ground truth, traces)."""
+        return self.session.result()

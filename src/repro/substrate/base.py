@@ -40,10 +40,11 @@ from repro.fluid.params import PathWorkload
 from repro.measurement.records import MeasurementData
 from repro.substrate.spec import LinkSpec
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import; a
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports; a
     # runtime import would cycle through repro.experiments.__init__,
     # whose runner module imports this protocol.
     from repro.experiments.config import EmulationSettings
+    from repro.measurement.records import RecordChunk
 
 
 @runtime_checkable
@@ -62,6 +63,40 @@ class SubstrateResult(Protocol):
         self, link_id: str, class_name: str, loss_threshold: float = 0.01
     ) -> float:
         """Ground-truth per-link, per-class congestion probability."""
+        ...
+
+
+@runtime_checkable
+class SubstrateSession(Protocol):
+    """A resumable emulation run (streaming / segment mode).
+
+    Obtained from :meth:`EmulationSubstrate.start`. The session
+    advances the emulation a chosen number of measurement intervals
+    at a time — carrying all engine state in between — and accepts
+    shared-vocabulary link-spec swaps at interval boundaries, which
+    is how the streaming monitor realizes mid-run differentiation
+    onset/offset scenarios. Advancing a session in any segmentation
+    yields records bit-identical to a one-shot
+    :meth:`EmulationSubstrate.run` of the same total length.
+    """
+
+    interval_seconds: float
+
+    @property
+    def intervals_done(self) -> int:
+        """Measurement intervals emulated so far."""
+        ...
+
+    def advance(self, num_intervals: int) -> "RecordChunk":
+        """Emulate N more intervals; returns their measured records."""
+        ...
+
+    def set_link_specs(self, link_specs: Mapping[str, LinkSpec]) -> None:
+        """Swap link specs, effective at the next interval boundary."""
+        ...
+
+    def result(self) -> SubstrateResult:
+        """Everything emulated so far, in the shared result schema."""
         ...
 
 
@@ -85,4 +120,22 @@ class EmulationSubstrate(Protocol):
         settings: "EmulationSettings",
     ) -> SubstrateResult:
         """Emulate one experiment and return its interval records."""
+        ...
+
+    def start(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        link_specs: Mapping[str, LinkSpec],
+        workloads: Mapping[str, PathWorkload],
+        settings: "EmulationSettings",
+        keep_ground_truth: bool = True,
+    ) -> SubstrateSession:
+        """Open a resumable run instead of emulating in one shot.
+
+        ``keep_ground_truth=False`` bounds a long run's memory by
+        discarding each interval's ground-truth columns once its
+        chunk is emitted; :meth:`SubstrateSession.result` is then
+        unavailable (continuous monitors consume only the chunks).
+        """
         ...

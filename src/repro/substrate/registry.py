@@ -20,6 +20,45 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only (see base.py)
     from repro.experiments.config import EmulationSettings
 
 
+class _CompiledSession:
+    """Binds an engine session to the shared :class:`LinkSpec` vocabulary.
+
+    Engine sessions (:class:`repro.fluid.engine.FluidSession`,
+    :class:`repro.emulator.core.PacketSession`) speak engine-native
+    specs; this wrapper compiles shared (or engine-native) spec
+    mappings through :func:`repro.substrate.spec.normalize_specs`
+    before every swap, so streaming callers stay substrate-agnostic.
+    """
+
+    def __init__(self, session, compile_spec) -> None:
+        self._session = session
+        self._compile = compile_spec
+
+    @property
+    def interval_seconds(self) -> float:
+        return self._session.interval_seconds
+
+    @property
+    def intervals_done(self) -> int:
+        return self._session.intervals_done
+
+    def advance(self, num_intervals: int):
+        return self._session.advance(num_intervals)
+
+    def set_link_specs(self, link_specs: Mapping[str, LinkSpec]) -> None:
+        from repro.substrate.spec import normalize_specs
+
+        self._session.set_link_specs(
+            {
+                lid: self._compile(spec)
+                for lid, spec in normalize_specs(link_specs).items()
+            }
+        )
+
+    def result(self):
+        return self._session.result()
+
+
 class FluidSubstrate:
     """The time-stepped fluid engine (primary sweep substrate)."""
 
@@ -53,6 +92,34 @@ class FluidSubstrate:
             dt=settings.dt,
             interval_seconds=settings.interval_seconds,
             warmup_seconds=settings.warmup_seconds,
+        )
+
+    def start(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        link_specs: Mapping[str, LinkSpec],
+        workloads: Mapping[str, PathWorkload],
+        settings: "EmulationSettings",
+        keep_ground_truth: bool = True,
+    ) -> _CompiledSession:
+        from repro.fluid.engine import FluidNetwork
+
+        sim = FluidNetwork(
+            net,
+            classes,
+            {lid: to_fluid(spec) for lid, spec in link_specs.items()},
+            workloads,
+            seed=settings.seed,
+        )
+        return _CompiledSession(
+            sim.session(
+                dt=settings.dt,
+                interval_seconds=settings.interval_seconds,
+                warmup_seconds=settings.warmup_seconds,
+                keep_ground_truth=keep_ground_truth,
+            ),
+            to_fluid,
         )
 
 
@@ -90,6 +157,33 @@ class PacketSubstrate:
             duration_seconds=settings.duration_seconds,
             interval_seconds=settings.interval_seconds,
             warmup_seconds=settings.warmup_seconds,
+        )
+
+    def start(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        link_specs: Mapping[str, LinkSpec],
+        workloads: Mapping[str, PathWorkload],
+        settings: "EmulationSettings",
+        keep_ground_truth: bool = True,
+    ) -> _CompiledSession:
+        from repro.emulator.core import PacketNetwork
+
+        sim = PacketNetwork(
+            net,
+            classes,
+            {lid: to_packet(spec) for lid, spec in link_specs.items()},
+            workloads=workloads,
+            seed=settings.seed,
+        )
+        return _CompiledSession(
+            sim.session(
+                interval_seconds=settings.interval_seconds,
+                warmup_seconds=settings.warmup_seconds,
+                keep_ground_truth=keep_ground_truth,
+            ),
+            to_packet,
         )
 
 

@@ -86,13 +86,50 @@ class TestCli:
         out = capsys.readouterr().out
         assert "topoA/set6" in out
 
-    def test_parser_rejects_unknown_substrate(self, capsys):
-        import pytest
+    def test_unknown_substrate_reports_clean_error(self, capsys):
+        code = main(
+            ["fig8", "--set", "6", "--substrate", "ns3",
+             "--duration", "30"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error: unknown substrate 'ns3'" in captured.err
+        assert "Traceback" not in captured.err
 
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["fig8", "--set", "6", "--substrate", "ns3"]
-            )
+    def test_monitor_unknown_names_report_clean_errors(self, capsys):
+        code = main(["monitor", "--substrate", "ns3"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error: unknown substrate 'ns3'" in captured.err
+        assert "Traceback" not in captured.err
+
+        code = main(["monitor", "--topology", "torus"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error: unknown topology 'torus'" in captured.err
+
+        code = main(["monitor", "--mechanism", "bribery"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error: unknown mechanism 'bribery'" in captured.err
+
+    def test_monitor_command_runs(self, capsys):
+        code = main(
+            [
+                "monitor",
+                "--duration", "20",
+                "--warmup", "2",
+                "--onset", "8",
+                "--window", "60",
+                "--chunk", "20",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flagged sequences" in out
+        assert "final verdict" in out
+        assert "onset at interval 80" in out
 
     def test_fig8_invalid_value(self, capsys):
         code = main(

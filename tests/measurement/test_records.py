@@ -101,3 +101,133 @@ class TestMeasurementData:
     def test_from_arrays_mismatched_paths(self):
         with pytest.raises(MeasurementError):
             from_arrays({"p1": np.array([1])}, {"p2": np.array([0])})
+
+
+class TestAppendIntervals:
+    def _data(self):
+        return MeasurementData(
+            [_record("p1"), _record("p2", sent=(5, 5, 5), lost=(1, 0, 0))],
+            interval_seconds=0.1,
+        )
+
+    def test_append_extends_records(self):
+        data = self._data()
+        data.append_intervals(
+            {"p1": np.array([7, 8]), "p2": np.array([9, 10])},
+            {"p1": np.array([1, 0]), "p2": np.array([0, 2])},
+        )
+        assert data.num_intervals == 5
+        np.testing.assert_array_equal(
+            data.record("p1").sent, [10, 20, 30, 7, 8]
+        )
+        np.testing.assert_array_equal(
+            data.record("p2").lost, [1, 0, 0, 0, 2]
+        )
+
+    def test_stale_cache_invalidated(self):
+        """Regression: the stacked matrices must reflect appended
+        intervals even when they were built (and cached) before the
+        append."""
+        data = self._data()
+        before = data.sent_matrix  # builds and caches the stack
+        assert before.shape == (2, 3)
+        rows_before = data.rows_of(["p2"])
+        data.append_intervals(
+            {"p1": np.array([7]), "p2": np.array([9])},
+            {"p1": np.array([0]), "p2": np.array([0])},
+        )
+        after = data.sent_matrix
+        assert after.shape == (2, 4)
+        np.testing.assert_array_equal(after[:, 3], [7, 9])
+        np.testing.assert_array_equal(
+            data.lost_matrix[:, 3], [0, 0]
+        )
+        np.testing.assert_array_equal(data.rows_of(["p2"]), rows_before)
+        # The pre-append view is untouched (no in-place mutation).
+        assert before.shape == (2, 3)
+
+    def test_append_chunk(self):
+        from repro.measurement.records import RecordChunk
+
+        data = self._data()
+        data.append_chunk(
+            RecordChunk(
+                path_ids=("p1", "p2"),
+                sent=np.array([[4], [6]]),
+                lost=np.array([[0], [1]]),
+                interval_seconds=0.1,
+                start_interval=3,
+            )
+        )
+        assert data.num_intervals == 4
+
+    def test_path_set_mismatch_rejected(self):
+        data = self._data()
+        with pytest.raises(MeasurementError):
+            data.append_intervals(
+                {"p1": np.array([1])}, {"p1": np.array([0])}
+            )
+        with pytest.raises(MeasurementError):
+            data.append_intervals(
+                {"p1": np.array([1]), "p3": np.array([1])},
+                {"p1": np.array([0]), "p3": np.array([0])},
+            )
+
+    def test_ragged_append_rejected(self):
+        data = self._data()
+        with pytest.raises(MeasurementError):
+            data.append_intervals(
+                {"p1": np.array([1, 2]), "p2": np.array([1])},
+                {"p1": np.array([0, 0]), "p2": np.array([0])},
+            )
+
+    def test_invalid_counters_rejected_atomically(self):
+        data = self._data()
+        with pytest.raises(MeasurementError):
+            data.append_intervals(
+                {"p1": np.array([1]), "p2": np.array([1])},
+                {"p1": np.array([2]), "p2": np.array([0])},  # lost > sent
+            )
+        # Nothing was committed.
+        assert data.num_intervals == 3
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        data = MeasurementData(
+            [_record("p1"), _record("p2", sent=(5, 6, 7), lost=(0, 1, 2))],
+            interval_seconds=0.25,
+        )
+        path = str(tmp_path / "checkpoint.npz")
+        data.save(path)
+        loaded = MeasurementData.load(path)
+        assert loaded.path_ids == data.path_ids
+        assert loaded.interval_seconds == data.interval_seconds
+        assert loaded.num_intervals == data.num_intervals
+        np.testing.assert_array_equal(
+            loaded.sent_matrix, data.sent_matrix
+        )
+        np.testing.assert_array_equal(
+            loaded.lost_matrix, data.lost_matrix
+        )
+
+    def test_round_trip_without_suffix(self, tmp_path):
+        """Regression: numpy appends '.npz' on write; the same path
+        string (suffix-less) must still reload."""
+        data = MeasurementData([_record("p1")], interval_seconds=0.1)
+        path = str(tmp_path / "ckpt")  # no .npz
+        data.save(path)
+        loaded = MeasurementData.load(path)
+        np.testing.assert_array_equal(
+            loaded.sent_matrix, data.sent_matrix
+        )
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(MeasurementError):
+            MeasurementData.load(str(tmp_path / "nope.npz"))
+
+    def test_load_garbage(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(MeasurementError):
+            MeasurementData.load(str(path))

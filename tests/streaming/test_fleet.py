@@ -1,0 +1,95 @@
+"""MonitorFleet: sharded multi-scenario monitoring with caching."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.config import EmulationSettings
+from repro.streaming.fleet import MonitorFleet, MonitorTask
+from repro.substrate.scenario import DifferentiationPolicy, Scenario
+
+QUICK = EmulationSettings(
+    duration_seconds=15.0, warmup_seconds=2.0, seed=1
+)
+
+
+def _tasks():
+    policed = Scenario(
+        name="policed",
+        topology="dumbbell",
+        policy=DifferentiationPolicy(mechanism="policing"),
+        settings=QUICK,
+    )
+    neutral = Scenario(name="neutral", topology="dumbbell", settings=QUICK)
+    return [
+        MonitorTask(
+            name="policed-onset",
+            scenario=policed,
+            chunk_intervals=25,
+            window_intervals=75,
+            onset_interval=50,
+        ),
+        MonitorTask(
+            name="always-neutral",
+            scenario=neutral,
+            chunk_intervals=25,
+            window_intervals=75,
+        ),
+    ]
+
+
+class TestMonitorFleet:
+    def test_outcomes_and_cache_determinism(self, tmp_path):
+        fleet = MonitorFleet(base_seed=1, cache_dir=str(tmp_path))
+        outcomes = fleet.run(_tasks())
+        assert list(outcomes) == ["policed-onset", "always-neutral"]
+        assert fleet.stats.cache_misses == 2
+
+        policed = outcomes["policed-onset"]
+        neutral = outcomes["always-neutral"]
+        assert policed.ground_truth_links == frozenset({"l5"})
+        assert neutral.ground_truth_links == frozenset()
+        # The neutral scenario never accumulates onto the CUSUM.
+        assert not neutral.flagged.any()
+        assert not neutral.verdict_non_neutral
+        assert neutral.detection_delay_intervals is None
+        # The policed stream covers 150 intervals; timelines align.
+        assert policed.num_intervals == 150
+        assert policed.scores.shape == (
+            len(policed.window_ends),
+            len(policed.sigmas),
+        )
+
+        # Re-running replays every outcome from cache, identically.
+        fleet2 = MonitorFleet(base_seed=1, cache_dir=str(tmp_path))
+        replay = fleet2.run(_tasks())
+        assert fleet2.stats.cache_hits == 2
+        assert fleet2.stats.executed == 0
+        for name, outcome in outcomes.items():
+            np.testing.assert_array_equal(
+                replay[name].scores, outcome.scores
+            )
+            np.testing.assert_array_equal(
+                replay[name].flagged, outcome.flagged
+            )
+            assert replay[name].change_points == outcome.change_points
+
+    def test_task_validation(self):
+        neutral = Scenario(name="n", topology="dumbbell", settings=QUICK)
+        with pytest.raises(ConfigurationError):
+            MonitorTask(
+                name="bad", scenario=neutral, onset_interval=10
+            )
+        policed = Scenario(
+            name="p",
+            topology="dumbbell",
+            policy=DifferentiationPolicy(mechanism="policing"),
+            settings=QUICK,
+        )
+        with pytest.raises(ConfigurationError):
+            MonitorTask(
+                name="bad2",
+                scenario=policed,
+                onset_interval=50,
+                offset_interval=40,
+            )

@@ -1,0 +1,227 @@
+"""Exactness of the incremental windowed Algorithm 2 statistics.
+
+The central property (ISSUE 4's test satellite): for *any* random
+record stream, chunk segmentation, and window, the incremental
+:class:`SlidingWindowStats` produces **fp-identical** costs (and
+identical congestion statuses) to a from-scratch batch recompute —
+:func:`batch_slice_observations` on a freshly built
+:class:`MeasurementData` of the same window. Both the all-traffic
+fast path and the zero-sent fallback are exercised.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.network import Network, Path
+from repro.core.slices import build_slice_batch
+from repro.exceptions import MeasurementError
+from repro.measurement.normalize import batch_slice_observations
+from repro.measurement.records import (
+    MeasurementData,
+    PathRecord,
+    RecordChunk,
+)
+from repro.streaming.window import SlidingWindowStats
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def _star_network(spokes=5):
+    """A hub link shared by all paths plus private access links —
+    several candidate systems of singletons and pairs."""
+    links = ["hub"] + [f"a{i}" for i in range(spokes)]
+    paths = [Path(f"p{i}", (f"a{i}", "hub")) for i in range(spokes)]
+    return Network(links, paths)
+
+
+@st.composite
+def stream_case(draw):
+    """A random stream (with occasional zero-sent cells), a random
+    chunking of it, and a random window."""
+    spokes = draw(st.integers(4, 6))
+    total = draw(st.integers(12, 60))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    sent = rng.integers(1, 60, size=(spokes, total))
+    # Sprinkle zero-sent cells in ~1/3 of cases to force the
+    # fallback (per-family valid sets).
+    if draw(st.integers(0, 2)) == 0:
+        holes = rng.random(sent.shape) < 0.05
+        sent[holes] = 0
+    lost = rng.binomial(sent, draw(st.floats(0.0, 0.2)))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(1, total - 1), max_size=4, unique=True
+            )
+        )
+    )
+    lo = draw(st.integers(0, total - 1))
+    hi = draw(st.integers(lo + 1, total))
+    return spokes, sent, lost, cuts, lo, hi
+
+
+@_SETTINGS
+@given(stream_case())
+def test_incremental_equals_batch_recompute(case):
+    spokes, sent, lost, cuts, lo, hi = case
+    net = _star_network(spokes)
+    path_ids = tuple(f"p{i}" for i in range(spokes))
+    stats = SlidingWindowStats(net)
+
+    bounds = [0] + cuts + [sent.shape[1]]
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if a == b:
+            continue
+        stats.append(
+            RecordChunk(
+                path_ids=path_ids,
+                sent=sent[:, a:b],
+                lost=lost[:, a:b],
+                interval_seconds=0.1,
+                start_interval=a,
+            )
+        )
+    assert stats.num_intervals == sent.shape[1]
+
+    # From-scratch reference: a fresh MeasurementData of the window,
+    # through the offline batch route.
+    window = MeasurementData(
+        [
+            PathRecord(pid, sent[i, lo:hi], lost[i, lo:hi])
+            for i, pid in enumerate(path_ids)
+        ],
+        0.1,
+    )
+    batch, _ = build_slice_batch(net, 5)
+    try:
+        ref_obs, ref_single, ref_pair = batch_slice_observations(
+            window, batch
+        )
+    except MeasurementError:
+        # Un-normalizable window (a path with no traffic in any
+        # window interval): the incremental route must refuse too.
+        with pytest.raises(MeasurementError):
+            stats.window_observations(lo, hi)
+        return
+    inc_obs, inc_single, inc_pair = stats.window_observations(lo, hi)
+
+    # fp-identical costs — not approx-equal.
+    np.testing.assert_array_equal(inc_single, ref_single)
+    np.testing.assert_array_equal(inc_pair, ref_pair)
+    assert set(inc_obs) == set(ref_obs)
+    for ps, value in ref_obs.items():
+        assert inc_obs[ps] == value
+
+    # Identical statuses on the fast path (the indicator the batch
+    # route derives from the stacked matrices).
+    if bool((window.sent_matrix > 0).all()):
+        expected = (
+            window.lost_matrix / window.sent_matrix
+        ) < stats.loss_threshold
+        np.testing.assert_array_equal(
+            stats.window_status(lo, hi), expected
+        )
+
+
+@_SETTINGS
+@given(stream_case())
+def test_window_results_stable_under_append(case):
+    """A window's cached result never changes as the stream grows
+    (append-only ⇒ no dirty windows)."""
+    spokes, sent, lost, cuts, lo, hi = case
+    net = _star_network(spokes)
+    path_ids = tuple(f"p{i}" for i in range(spokes))
+    total = sent.shape[1]
+    if hi >= total:  # need data after the window to append
+        hi = max(lo + 1, total - 1)
+    stats = SlidingWindowStats(net)
+    stats.append_arrays(sent[:, :hi], lost[:, :hi], path_ids)
+    try:
+        _, before_single, before_pair = stats.window_observations(lo, hi)
+    except MeasurementError:
+        return  # un-normalizable window; nothing to compare
+
+    stats.append_arrays(sent[:, hi:], lost[:, hi:], path_ids)
+    _, after_single, after_pair = stats.window_observations(lo, hi)
+    np.testing.assert_array_equal(before_single, after_single)
+    np.testing.assert_array_equal(before_pair, after_pair)
+
+
+class TestValidation:
+    def test_non_contiguous_chunk_rejected(self):
+        net = _star_network(4)
+        stats = SlidingWindowStats(net)
+        chunk = RecordChunk(
+            path_ids=tuple(f"p{i}" for i in range(4)),
+            sent=np.ones((4, 5), dtype=np.int64),
+            lost=np.zeros((4, 5), dtype=np.int64),
+            interval_seconds=0.1,
+            start_interval=3,
+        )
+        with pytest.raises(MeasurementError):
+            stats.append(chunk)
+
+    def test_path_set_change_rejected(self):
+        net = _star_network(4)
+        stats = SlidingWindowStats(net)
+        ids = tuple(f"p{i}" for i in range(4))
+        stats.append_arrays(
+            np.ones((4, 3), dtype=np.int64),
+            np.zeros((4, 3), dtype=np.int64),
+            ids,
+        )
+        with pytest.raises(MeasurementError):
+            stats.append_arrays(
+                np.ones((4, 3), dtype=np.int64),
+                np.zeros((4, 3), dtype=np.int64),
+                tuple(reversed(ids)),
+            )
+
+    def test_missing_indexed_path_rejected(self):
+        net = _star_network(4)
+        stats = SlidingWindowStats(net)
+        with pytest.raises(MeasurementError):
+            stats.append_arrays(
+                np.ones((2, 3), dtype=np.int64),
+                np.zeros((2, 3), dtype=np.int64),
+                ("p0", "p1"),
+            )
+
+    def test_empty_window_rejected(self):
+        net = _star_network(4)
+        stats = SlidingWindowStats(net)
+        stats.append_arrays(
+            np.ones((4, 8), dtype=np.int64),
+            np.zeros((4, 8), dtype=np.int64),
+            tuple(f"p{i}" for i in range(4)),
+        )
+        with pytest.raises(MeasurementError):
+            stats.window_observations(4, 4)
+        with pytest.raises(MeasurementError):
+            stats.window_observations(0, 9)
+
+    def test_capacity_growth_preserves_state(self):
+        """Crossing the growable arrays' capacity boundary keeps all
+        earlier statistics intact (regression for the doubling)."""
+        net = _star_network(4)
+        ids = tuple(f"p{i}" for i in range(4))
+        rng = np.random.default_rng(1)
+        sent = rng.integers(1, 9, size=(4, 700))
+        lost = rng.binomial(sent, 0.05)
+        stats = SlidingWindowStats(net)
+        for a in range(0, 700, 90):
+            b = min(a + 90, 700)
+            stats.append_arrays(sent[:, a:b], lost[:, a:b], ids)
+        window = MeasurementData(
+            [
+                PathRecord(pid, sent[i, 100:650], lost[i, 100:650])
+                for i, pid in enumerate(ids)
+            ],
+            0.1,
+        )
+        batch, _ = build_slice_batch(net, 5)
+        _, ref_single, ref_pair = batch_slice_observations(window, batch)
+        _, inc_single, inc_pair = stats.window_observations(100, 650)
+        np.testing.assert_array_equal(inc_single, ref_single)
+        np.testing.assert_array_equal(inc_pair, ref_pair)

@@ -20,6 +20,7 @@ from repro.analysis.stats import boxplot_summary, format_table, series_summary
 from repro.experiments.sweep import SweepPoint, SweepRunner
 from repro.experiments.topology_b import (
     TOPOLOGY_B_SETTINGS,
+    run_topology_b_batch,
     run_topology_b_point,
 )
 from repro.topology.multi_isp import POLICED_LINKS
@@ -30,7 +31,8 @@ SEEDS = (1, 2, 3)
 @pytest.fixture(scope="module")
 def reports():
     # The three canonical seeds as one sweep: the points carry
-    # explicit seeds (the figure is pinned to these realizations),
+    # explicit seeds (the figure is pinned to these realizations —
+    # the scenario batch emulates the same three, fp-identically),
     # while workers/cache come from the harness environment.
     points = [
         SweepPoint(
@@ -41,6 +43,8 @@ def reports():
                 "policing_rate": 0.15,
             },
             seed=seed,
+            batch_func=run_topology_b_batch,
+            batch_group="topoB/fig10",
         )
         for seed in SEEDS
     ]

@@ -5,8 +5,10 @@ Commands:
 * ``theory`` — the paper's worked examples, analytically (instant).
 * ``fig8 --set N [--value V]`` — one topology-A experiment (set 1–9).
 * ``topo-b [--seed S]`` — the topology-B experiment with reports.
-* ``sweep [--sets 1,2,…] --workers N [--cache DIR]`` — the Table 2
-  sweep fanned over a process pool with result caching.
+* ``sweep [--sets 1,2,…] --workers N [--cache DIR]
+  [--batch-size B]`` — the Table 2 sweep fanned over a process pool
+  with result caching; compatible points (rate-varying sets on a
+  batch-capable substrate) run as lockstep scenario batches.
 * ``monitor`` — the streaming neutrality monitor: emulate in segment
   mode, emit rolling windowed verdicts, and timestamp
   differentiation onset/offset change points (``--onset T`` switches
@@ -157,17 +159,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
     settings = EmulationSettings(
         duration_seconds=args.duration, seed=args.seed
     )
     points = sweep_points(set_numbers, settings, substrate=args.substrate)
     runner = SweepRunner.for_settings(
-        settings, workers=args.workers, cache_dir=args.cache
+        settings,
+        workers=args.workers,
+        cache_dir=args.cache,
+        batch_size=args.batch_size,
     )
     print(
         f"Sweeping {len(points)} points over {args.workers} worker(s)..."
     )
     results = runner.run(points)
+    stats = runner.stats
+    batched_ok = stats.batched_points - stats.batch_retries
+    singles = stats.executed - batched_ok
+    print(
+        f"batching: {stats.batches} batch(es) covering {batched_ok} "
+        f"point(s); {singles} point(s) ran singly"
+    )
     print(render_sweep_summary(results, runner.stats))
     return 0
 
@@ -323,6 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache",
         default=None,
         help="result-cache directory (default: no caching)",
+    )
+    sweep.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="max points per scenario batch (default: auto; "
+        "1 disables batching)",
     )
     sweep.add_argument("--duration", type=float, default=120.0)
     sweep.add_argument("--seed", type=int, default=1)

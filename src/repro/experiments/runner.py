@@ -133,6 +133,63 @@ def infer_from_measurements(
     return observations, algorithm
 
 
+def outcome_from_emulation(
+    net: Network,
+    classes: ClassAssignment,
+    workloads: Mapping[str, PathWorkload],
+    emulation: SubstrateResult,
+    settings: EmulationSettings = EmulationSettings(),
+    ground_truth_links: Iterable[str] = None,
+    min_pathsets: int = DEFAULT_MIN_PATHSETS,
+    substrate: str = "fluid",
+) -> ExperimentOutcome:
+    """The measure → infer → score tail of one experiment.
+
+    Everything :func:`run_experiment` does after the substrate has
+    produced its records — shared with the scenario-batched sweep
+    path, so a batched point's :class:`ExperimentOutcome` is built by
+    exactly the code the single-run path uses (``settings.seed`` must
+    be the seed the emulation ran with: it also seeds Algorithm 2's
+    sampled-mode normalization RNG).
+    """
+    inference_net = measured_subnetwork(net, workloads)
+
+    # Per-slice normalization (paper §6.2 / Algorithm 2): each slice
+    # family is normalized over its own paths. "sampled" mode draws
+    # the subsampled loss counts hypergeometrically — equalizing the
+    # congestion indicator's sensitivity between thin and thick paths
+    # ("similarly sized traffic aggregates") at the cost of sampling
+    # noise; "expected" mode (default) uses the expectation.
+    norm_rng = np.random.default_rng(settings.seed + 7_919)
+    observations, algorithm = infer_from_measurements(
+        inference_net,
+        emulation.measurements,
+        settings=settings,
+        min_pathsets=min_pathsets,
+        rng=norm_rng,
+    )
+    path_congestion = {
+        pid: path_congestion_probability(
+            emulation.measurements, pid, settings.loss_threshold
+        )
+        for pid in inference_net.path_ids
+    }
+    quality = None
+    if ground_truth_links is not None:
+        quality = evaluate(
+            algorithm, ground_truth_links, inference_net.link_ids
+        )
+    return ExperimentOutcome(
+        emulation=emulation,
+        observations=observations,
+        algorithm=algorithm,
+        path_congestion=path_congestion,
+        inference_network=inference_net,
+        quality=quality,
+        substrate=substrate,
+    )
+
+
 def run_experiment(
     net: Network,
     classes: ClassAssignment,
@@ -170,39 +227,13 @@ def run_experiment(
         workloads,
         settings,
     )
-    inference_net = measured_subnetwork(net, workloads)
-
-    # Per-slice normalization (paper §6.2 / Algorithm 2): each slice
-    # family is normalized over its own paths. "sampled" mode draws
-    # the subsampled loss counts hypergeometrically — equalizing the
-    # congestion indicator's sensitivity between thin and thick paths
-    # ("similarly sized traffic aggregates") at the cost of sampling
-    # noise; "expected" mode (default) uses the expectation.
-    norm_rng = np.random.default_rng(settings.seed + 7_919)
-    observations, algorithm = infer_from_measurements(
-        inference_net,
-        emulation.measurements,
+    return outcome_from_emulation(
+        net,
+        classes,
+        workloads,
+        emulation,
         settings=settings,
+        ground_truth_links=ground_truth_links,
         min_pathsets=min_pathsets,
-        rng=norm_rng,
-    )
-    path_congestion = {
-        pid: path_congestion_probability(
-            emulation.measurements, pid, settings.loss_threshold
-        )
-        for pid in inference_net.path_ids
-    }
-    quality = None
-    if ground_truth_links is not None:
-        quality = evaluate(
-            algorithm, ground_truth_links, inference_net.link_ids
-        )
-    return ExperimentOutcome(
-        emulation=emulation,
-        observations=observations,
-        algorithm=algorithm,
-        path_congestion=path_congestion,
-        inference_network=inference_net,
-        quality=quality,
         substrate=substrate,
     )

@@ -33,6 +33,21 @@ on-disk cache, while keeping results bit-reproducible:
 Points must be *picklable*: a module-level callable plus plain-data
 kwargs. The callable receives ``seed=<derived seed>`` on top of its
 kwargs and must be pure given those arguments.
+
+**Scenario batching.** Points may additionally carry a
+``batch_func`` and a ``batch_group``: points sharing both (same
+module-level batch callable, same compatibility group — typically
+"same topology/workload/duration/substrate") are *grouped* and
+dispatched to workers as one task each, executed as
+``batch_func(seeds=[...], kwargs_list=[...]) -> [result, ...]``. The
+contract is that ``batch_func`` returns, per member, **exactly** the
+result ``func(seed=s, **kwargs)`` would return (the scenario-batched
+fluid engine is floating-point-identical to single runs, so grouped
+experiment points satisfy this by construction). Cache semantics are
+untouched: digests are per point, results are cached per point, and
+a cached single-run result is interchangeable with a batched one. A
+batch task that fails is retried point-by-point on the same pool, so
+batching can never lose a sweep.
 """
 
 from __future__ import annotations
@@ -40,6 +55,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -74,6 +90,16 @@ class SweepPoint:
             ``name:version`` tag is part of the cache digest, so
             results from different substrates (or different model
             revisions of one substrate) never collide.
+        batch_func: Optional module-level batched executor,
+            ``batch_func(seeds=[...], kwargs_list=[...]) ->
+            [result, ...]``, returning per member exactly what
+            ``func(seed=s, **kwargs)`` would. Points sharing
+            ``(batch_func, batch_group)`` may run as one task.
+        batch_group: Compatibility key for grouping (same topology /
+            workloads / duration / substrate). ``None`` disables
+            batching for the point. Neither batching field enters
+            the cache digest — a point's result is the same either
+            way, so cached entries stay interchangeable.
     """
 
     key: str
@@ -81,6 +107,8 @@ class SweepPoint:
     kwargs: Mapping[str, Any] = field(default_factory=dict)
     seed: Optional[int] = None
     substrate: str = "fluid"
+    batch_func: Optional[Callable[..., Any]] = None
+    batch_group: Optional[str] = None
 
     def spec_digest(self, seed: int, salt: str) -> str:
         """Cache digest of everything that determines the result."""
@@ -95,9 +123,40 @@ class SweepPoint:
         return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
 
-def _execute(args: Tuple[SweepPoint, int]) -> Tuple[str, Any]:
-    point, seed = args
-    return point.key, point.func(seed=seed, **dict(point.kwargs))
+#: Auto batch width: wide enough to amortize the per-step numpy
+#: program over many scenarios, small enough that one worker's batch
+#: state (B× engine arrays + collected columns) stays modest.
+DEFAULT_BATCH_SIZE = 32
+
+
+def _execute_task(task: Tuple) -> Tuple:
+    """Worker entry: one single point or one scenario batch.
+
+    Returns ``("ok", [(digest, result), ...])``; a failed *batch*
+    returns ``("batch_error", [digest, ...], error_repr)`` so the
+    parent can retry its members point-by-point (a failed single
+    point raises, exactly like the pre-batching pool did). Only the
+    digest and the result payload cross the process boundary on the
+    way back.
+    """
+    if task[0] == "batch":
+        _, batch_func, members = task
+        digests = [digest for digest, _, _ in members]
+        try:
+            results = batch_func(
+                seeds=[seed for _, seed, _ in members],
+                kwargs_list=[dict(kwargs) for _, _, kwargs in members],
+            )
+            if len(results) != len(members):
+                raise RuntimeError(
+                    f"batch executor returned {len(results)} results "
+                    f"for {len(members)} points"
+                )
+        except Exception as exc:  # retried singly by the parent
+            return ("batch_error", digests, repr(exc))
+        return ("ok", list(zip(digests, results)))
+    _, func, kwargs, seed, digest = task
+    return ("ok", [(digest, func(seed=seed, **dict(kwargs)))])
 
 
 @dataclass
@@ -107,6 +166,11 @@ class SweepStats:
     cache_hits: int = 0
     cache_misses: int = 0
     executed: int = 0
+    #: Scenario batches dispatched, and how many points they covered.
+    batches: int = 0
+    batched_points: int = 0
+    #: Points re-run singly after their batch task failed.
+    batch_retries: int = 0
 
 
 class SweepRunner:
@@ -120,6 +184,10 @@ class SweepRunner:
             caching.
         cache_salt: Extra cache-key component (e.g. a settings
             fingerprint not captured in point kwargs).
+        batch_size: Maximum points per scenario batch. ``None``
+            (auto) uses :data:`DEFAULT_BATCH_SIZE`; ``1`` disables
+            batching entirely (every point runs via its own
+            ``func``). Results are identical for any value.
     """
 
     def __init__(
@@ -128,13 +196,17 @@ class SweepRunner:
         workers: int = 1,
         cache_dir: Optional[str] = None,
         cache_salt: str = "",
+        batch_size: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
         self.base_seed = base_seed
         self.workers = workers
         self.cache_dir = cache_dir
         self.cache_salt = cache_salt
+        self.batch_size = batch_size
         self.stats = SweepStats()
 
     @classmethod
@@ -143,6 +215,7 @@ class SweepRunner:
         settings,
         workers: int = 1,
         cache_dir: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> "SweepRunner":
         """Runner bound to an :class:`~repro.experiments.config.
         EmulationSettings`: its seed becomes the base seed and its
@@ -153,6 +226,7 @@ class SweepRunner:
             workers=workers,
             cache_dir=cache_dir,
             cache_salt=settings.fingerprint(),
+            batch_size=batch_size,
         )
 
     # ------------------------------------------------------------------
@@ -195,18 +269,86 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
 
+    def _build_tasks(
+        self, pending: List[Tuple[SweepPoint, int, str]]
+    ) -> List[Tuple]:
+        """Group batchable pending points; single tasks for the rest.
+
+        Points sharing ``(batch_func, batch_group)`` form scenario
+        batches of at most ``batch_size`` members (submission order
+        preserved); a "group" of one falls back to a single task —
+        a one-world batch has no amortization to offer.
+        """
+        cap = (
+            self.batch_size
+            if self.batch_size is not None
+            else DEFAULT_BATCH_SIZE
+        )
+        groups: Dict[Tuple[str, str], List[Tuple[SweepPoint, int, str]]] = {}
+        singles: List[Tuple[SweepPoint, int, str]] = []
+        if cap > 1:
+            for entry in pending:
+                point = entry[0]
+                if (
+                    point.batch_func is not None
+                    and point.batch_group is not None
+                ):
+                    func_id = (
+                        f"{point.batch_func.__module__}."
+                        f"{point.batch_func.__qualname__}"
+                    )
+                    groups.setdefault(
+                        (func_id, point.batch_group), []
+                    ).append(entry)
+                else:
+                    singles.append(entry)
+        else:
+            singles = list(pending)
+        tasks: List[Tuple] = []
+        for members in groups.values():
+            if len(members) == 1:
+                singles.append(members[0])
+                continue
+            for lo in range(0, len(members), cap):
+                chunk = members[lo : lo + cap]
+                if len(chunk) == 1:
+                    singles.append(chunk[0])
+                    continue
+                tasks.append(
+                    (
+                        "batch",
+                        chunk[0][0].batch_func,
+                        [
+                            (digest, seed, dict(point.kwargs))
+                            for point, seed, digest in chunk
+                        ],
+                    )
+                )
+                self.stats.batches += 1
+                self.stats.batched_points += len(chunk)
+        for point, seed, digest in singles:
+            tasks.append(
+                ("single", point.func, dict(point.kwargs), seed, digest)
+            )
+        return tasks
+
     def run(self, points: Sequence[SweepPoint]) -> Dict[str, Any]:
         """Run every point; returns ``{key: result}`` in point order.
 
         Cache hits are returned without executing; misses run on the
         worker pool (or inline for ``workers=1``) and are stored.
+        Compatible points run as scenario batches (see the module
+        docstring); a failed batch is retried point-by-point on the
+        *same* pool before anything is given up on.
         """
         keys = [p.key for p in points]
         if len(set(keys)) != len(keys):
             raise ConfigurationError("sweep point keys must be unique")
         self.stats = SweepStats()  # per-run bookkeeping, as documented
-        results: Dict[str, Any] = {}
+        by_digest: Dict[str, Any] = {}
+        key_digest: Dict[str, str] = {}
         pending: List[Tuple[SweepPoint, int, str]] = []
+        pending_by_digest: Dict[str, Tuple[SweepPoint, int]] = {}
         for point in points:
             seed = (
                 point.seed
@@ -214,18 +356,62 @@ class SweepRunner:
                 else derive_seed(self.base_seed, point.key)
             )
             digest = point.spec_digest(seed, self.cache_salt)
+            key_digest[point.key] = digest
             cached = self._cache_load(digest)
             if cached is not None:
-                results[point.key] = cached
+                by_digest[digest] = cached
                 self.stats.cache_hits += 1
             else:
                 pending.append((point, seed, digest))
+                pending_by_digest[digest] = (point, seed)
                 self.stats.cache_misses += 1
 
         if pending:
-            tasks = [(point, seed) for point, seed, _ in pending]
-            if self.workers == 1 or len(pending) == 1:
-                completed = list(map(_execute, tasks))
+            tasks = self._build_tasks(pending)
+
+            def _collect(outcomes) -> List[Tuple]:
+                """Record ok-payloads; return retry tasks for failed
+                batches (executed point-by-point)."""
+                retries: List[Tuple] = []
+                for outcome in outcomes:
+                    if outcome[0] == "ok":
+                        for digest, result in outcome[1]:
+                            by_digest[digest] = result
+                            self.stats.executed += 1
+                            self._cache_store(digest, result)
+                    else:  # batch_error
+                        _, digests, err = outcome
+                        self.stats.batch_retries += len(digests)
+                        # Loud, not fatal: the members re-run singly
+                        # with identical results, but a systematically
+                        # failing batch executor (losing the whole
+                        # speedup) must not be silent.
+                        warnings.warn(
+                            f"scenario batch of {len(digests)} points "
+                            f"failed ({err}); retrying each point "
+                            f"singly",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        for digest in digests:
+                            point, seed = pending_by_digest[digest]
+                            retries.append(
+                                (
+                                    "single",
+                                    point.func,
+                                    dict(point.kwargs),
+                                    seed,
+                                    digest,
+                                )
+                            )
+                return retries
+
+            if self.workers == 1 or (
+                len(tasks) == 1 and tasks[0][0] == "single"
+            ):
+                retries = _collect(map(_execute_task, tasks))
+                if retries:
+                    _collect(map(_execute_task, retries))
             else:
                 import multiprocessing as mp
                 import sys
@@ -235,12 +421,37 @@ class SweepRunner:
                 # — points are picklable by contract, so both work.
                 method = "fork" if sys.platform == "linux" else None
                 ctx = mp.get_context(method)
+                has_batches = any(t[0] == "batch" for t in tasks)
+                # Unordered streaming keeps every worker busy (slow
+                # points no longer gate their map chunk); results are
+                # re-keyed by digest, so completion order is
+                # irrelevant to the returned mapping. Chunking only
+                # helps swarms of light single points — batch tasks
+                # are few and heavy, so they ship one at a time.
+                chunksize = (
+                    1
+                    if has_batches
+                    else max(
+                        1,
+                        min(8, len(tasks) // (4 * self.workers) or 1),
+                    )
+                )
+                # Sized by pending *points*, not tasks: a failed
+                # batch's members retry point-by-point on this same
+                # pool, and must not be throttled to the batch count.
                 with ctx.Pool(min(self.workers, len(pending))) as pool:
-                    completed = pool.map(_execute, tasks)
-            self.stats.executed += len(completed)
-            digests = {point.key: digest for point, _, digest in pending}
-            for key, result in completed:
-                results[key] = result
-                self._cache_store(digests[key], result)
+                    retries = _collect(
+                        pool.imap_unordered(
+                            _execute_task, tasks, chunksize=chunksize
+                        )
+                    )
+                    if retries:
+                        # Same pool, second phase: the members of any
+                        # failed batch run as ordinary single points.
+                        _collect(
+                            pool.imap_unordered(
+                                _execute_task, retries, chunksize=1
+                            )
+                        )
 
-        return {key: results[key] for key in keys}
+        return {key: by_digest[key_digest[key]] for key in keys}

@@ -18,9 +18,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.exceptions import ConfigurationError
 from repro.experiments.config import EmulationSettings
-from repro.experiments.runner import ExperimentOutcome, run_experiment
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    outcome_from_emulation,
+    run_experiment,
+)
 from repro.experiments.sweep import SweepPoint, SweepRunner
+from repro.substrate.batch import (
+    ScenarioBatch,
+    run_scenario_batch,
+    substrate_supports_batch,
+)
 from repro.fluid.params import PathWorkload
 from repro.topology.dumbbell import (
     CLASS1_PATHS,
@@ -190,6 +200,68 @@ def _sweep_point(
     )
 
 
+def _sweep_point_batch(seeds, kwargs_list) -> List[ExperimentOutcome]:
+    """Batched executor for rate-varying Table 2 points.
+
+    The grouped points (one set, one substrate, shared settings)
+    differ only in the shared link's policing/shaping rate — the same
+    topology and workloads — so their emulations run as one scenario
+    batch; each member's outcome is then finished by exactly the
+    single-run tail (:func:`~repro.experiments.runner.
+    outcome_from_emulation`), making batched results bit-identical to
+    ``func``'s.
+    """
+    first = kwargs_list[0]
+    for kw in kwargs_list[1:]:
+        # Guard against an incomplete batch_group key upstream: a
+        # member emulated under another member's set/settings would
+        # cache a wrong result under its own (correct) digest.
+        if any(
+            kw.get(field) != first.get(field)
+            for field in ("set_number", "settings", "substrate")
+        ):
+            raise ConfigurationError(
+                "batched topology-A points must share set_number, "
+                "settings, and substrate"
+            )
+    experiments = [
+        build_experiment(kw["set_number"], kw["value"])
+        for kw in kwargs_list
+    ]
+    topos = [
+        build_dumbbell(
+            mechanism=exp.mechanism, rate_fraction=exp.rate_fraction
+        )
+        for exp in experiments
+    ]
+    settings = kwargs_list[0]["settings"]
+    substrate = kwargs_list[0].get("substrate", "fluid")
+    shared = topos[0]
+    batch = ScenarioBatch.compile(
+        shared.network,
+        shared.classes,
+        experiments[0].workloads,
+        [topo.link_specs for topo in topos],
+        seeds,
+    )
+    emulations = run_scenario_batch(batch, settings, substrate)
+    outcomes = []
+    for exp, seed, emulation in zip(experiments, seeds, emulations):
+        truth = {SHARED_LINK} if exp.expect_non_neutral else set()
+        outcomes.append(
+            outcome_from_emulation(
+                shared.network,
+                shared.classes,
+                exp.workloads,
+                emulation,
+                settings=settings.with_seed(seed),
+                ground_truth_links=truth,
+                substrate=substrate,
+            )
+        )
+    return outcomes
+
+
 def sweep_points(
     set_numbers,
     settings: EmulationSettings,
@@ -197,6 +269,11 @@ def sweep_points(
     substrate: str = "fluid",
 ) -> List[SweepPoint]:
     """Sweep points covering the given Table 2 sets (all values).
+
+    Points of a *rate-varying* set (6 and 9: same topology, same
+    workloads, only the mechanism rate changes) carry the scenario
+    batch hooks, so a batch-capable substrate emulates the whole set
+    in one lockstep program when the sweep runner groups them.
 
     Args:
         set_numbers: Table 2 set numbers to cover.
@@ -211,6 +288,8 @@ def sweep_points(
     """
     points = []
     for set_number in set_numbers:
+        rate_varies = TABLE2_SETS[set_number][4]
+        batchable = rate_varies and substrate_supports_batch(substrate)
         for value in experiment_values(set_number):
             points.append(
                 SweepPoint(
@@ -224,6 +303,13 @@ def sweep_points(
                     },
                     seed=None if derive_seeds else settings.seed,
                     substrate=substrate,
+                    batch_func=_sweep_point_batch if batchable else None,
+                    batch_group=(
+                        f"topoA/set{set_number}/{substrate}/"
+                        f"{settings.fingerprint()}"
+                        if batchable
+                        else None
+                    ),
                 )
             )
     return points
@@ -235,19 +321,25 @@ def run_full_set(
     workers: int = 1,
     cache_dir: str = None,
     substrate: str = "fluid",
+    batch_size: int = None,
 ) -> List[Tuple[object, ExperimentOutcome]]:
     """Run all experiments of one Table 2 set.
 
     With ``workers > 1`` the set's values run on a process pool; with
-    a ``cache_dir`` finished points are memoized on disk. Results are
-    identical for any worker count, and identical to the seed
-    sequential runner: every point runs at ``settings.seed`` (the
-    Figure 8 benches assert claims about those exact realizations —
-    use :func:`sweep_points` directly for independently-seeded
-    points).
+    a ``cache_dir`` finished points are memoized on disk. Rate-
+    varying sets additionally run as one scenario batch on batch-
+    capable substrates (``batch_size=1`` disables). Results are
+    identical for any worker count or batch width, and identical to
+    the seed sequential runner: every point runs at ``settings.seed``
+    (the Figure 8 benches assert claims about those exact
+    realizations — use :func:`sweep_points` directly for
+    independently-seeded points).
     """
     runner = SweepRunner.for_settings(
-        settings, workers=workers, cache_dir=cache_dir
+        settings,
+        workers=workers,
+        cache_dir=cache_dir,
+        batch_size=batch_size,
     )
     results = runner.run(
         sweep_points(

@@ -21,9 +21,19 @@ from typing import Dict, List, Mapping, Tuple
 import numpy as np
 
 from repro.core.network import LinkSeq
+from repro.exceptions import ConfigurationError
 from repro.experiments.config import EmulationSettings
-from repro.experiments.runner import ExperimentOutcome, run_experiment
+from repro.experiments.runner import (
+    ExperimentOutcome,
+    outcome_from_emulation,
+    run_experiment,
+)
 from repro.experiments.sweep import SweepPoint, SweepRunner
+from repro.substrate.batch import (
+    ScenarioBatch,
+    run_scenario_batch,
+    substrate_supports_batch,
+)
 from repro.fluid.params import MSS_BITS, PathWorkload
 from repro.topology.multi_isp import (
     NEUTRAL_BUSY_LINK,
@@ -139,7 +149,16 @@ def run_topology_b(
         ground_truth_links=POLICED_LINKS,
         substrate=substrate,
     )
+    return _report_from_outcome(topo, outcome, settings)
 
+
+def _report_from_outcome(
+    topo: MultiIspTopology,
+    outcome: ExperimentOutcome,
+    settings: EmulationSettings,
+) -> TopologyBReport:
+    """Assemble the Figures 10/11 report from one outcome (shared by
+    the single-run and scenario-batched paths)."""
     ground_truth = {
         lid: (
             outcome.emulation.link_congestion_probability(
@@ -200,6 +219,53 @@ def run_topology_b_point(
     )
 
 
+def run_topology_b_batch(seeds, kwargs_list) -> List[TopologyBReport]:
+    """Batched executor for topology-B repetitions.
+
+    Grouped points share everything but the seed (one policing rate,
+    one settings object, one substrate — enforced by the batch
+    group), so the multi-ISP topology is built once and every
+    repetition advances in one lockstep scenario batch; each member's
+    report is then assembled by the single-run tail.
+    """
+    first = kwargs_list[0]
+    if any(kw != first for kw in kwargs_list[1:]):
+        # Guard against an incomplete batch_group key upstream —
+        # topology-B members may differ only in their seed.
+        raise ConfigurationError(
+            "batched topology-B points must share settings, "
+            "policing_rate, and substrate"
+        )
+    settings = first["settings"]
+    policing_rate = first["policing_rate"]
+    substrate = first.get("substrate", "fluid")
+    topo = build_multi_isp(policing_rate=policing_rate)
+    workloads = table3_workloads(topo)
+    batch = ScenarioBatch.compile(
+        topo.network,
+        topo.classes,
+        workloads,
+        [topo.link_specs] * len(seeds),
+        seeds,
+    )
+    emulations = run_scenario_batch(batch, settings, substrate)
+    reports = []
+    for seed, emulation in zip(seeds, emulations):
+        outcome = outcome_from_emulation(
+            topo.network,
+            topo.classes,
+            workloads,
+            emulation,
+            settings=settings.with_seed(seed),
+            ground_truth_links=POLICED_LINKS,
+            substrate=substrate,
+        )
+        reports.append(
+            _report_from_outcome(topo, outcome, settings.with_seed(seed))
+        )
+    return reports
+
+
 def run_topology_b_sweep(
     repetitions: int = 4,
     settings: EmulationSettings = TOPOLOGY_B_SETTINGS,
@@ -207,16 +273,25 @@ def run_topology_b_sweep(
     workers: int = 1,
     cache_dir: str = None,
     substrate: str = "fluid",
+    batch_size: int = None,
 ) -> List[TopologyBReport]:
     """Run several independently-seeded topology-B repetitions.
 
     The paper reports topology-B quality metrics as probabilities, so
     a single realization is noisy; fanning repetitions over workers
-    makes multi-seed aggregates as cheap as one sequential run.
-    Per-repetition seeds derive from ``settings.seed`` and the
-    repetition index, so the result list is identical for any worker
-    count.
+    makes multi-seed aggregates as cheap as one sequential run — and
+    on a batch-capable substrate the repetitions advance as one
+    lockstep scenario batch per worker task (``batch_size=1``
+    disables). Per-repetition seeds derive from ``settings.seed`` and
+    the repetition index, so the result list is identical for any
+    worker count or batch width.
     """
+    batchable = substrate_supports_batch(substrate)
+    group = (
+        f"topoB/rate{policing_rate}/{substrate}/{settings.fingerprint()}"
+        if batchable
+        else None
+    )
     points = [
         SweepPoint(
             key=f"topoB/rate{policing_rate}/rep{rep}",
@@ -227,11 +302,16 @@ def run_topology_b_sweep(
                 "substrate": substrate,
             },
             substrate=substrate,
+            batch_func=run_topology_b_batch if batchable else None,
+            batch_group=group,
         )
         for rep in range(repetitions)
     ]
     runner = SweepRunner.for_settings(
-        settings, workers=workers, cache_dir=cache_dir
+        settings,
+        workers=workers,
+        cache_dir=cache_dir,
+        batch_size=batch_size,
     )
     results = runner.run(points)
     return [results[p.key] for p in points]

@@ -6,6 +6,11 @@ structure the inference pipeline depends on. See
 :mod:`repro.emulator` for the packet-level validation substrate.
 """
 
+from repro.fluid.batch import (
+    FluidBatchNetwork,
+    FluidBatchSession,
+    run_batch,
+)
 from repro.fluid.engine import (
     DEFAULT_DT,
     DEFAULT_INTERVAL,
@@ -41,11 +46,14 @@ __all__ = [
     "DEFAULT_INTERVAL",
     "ENGINE_VERSION",
     "FlowSlot",
+    "FluidBatchNetwork",
+    "FluidBatchSession",
     "FluidEngine",
     "FlowSlotSpec",
     "FluidLinkSpec",
     "FluidNetwork",
     "FluidResult",
+    "run_batch",
     "MSS_BITS",
     "PathWorkload",
     "PolicerSpec",

@@ -135,6 +135,78 @@ class FluidResult:
         )
 
 
+def package_result(
+    path_ids,
+    link_ids,
+    class_names,
+    workloads,
+    sent_out: np.ndarray,
+    lost_out: np.ndarray,
+    rtt_out: np.ndarray,
+    link_arr_out: np.ndarray,
+    link_drop_out: np.ndarray,
+    queue_occ_out: np.ndarray,
+    flows_by_path: np.ndarray,
+    interval_seconds: float,
+) -> FluidResult:
+    """Package per-interval output arrays as a :class:`FluidResult`.
+
+    The one place measured-path integer rounding and the per-link /
+    per-path dict layouts are produced, shared by the single-run
+    session (:meth:`FluidSession.result`) and the scenario-batched
+    engine (:mod:`repro.fluid.batch`) — so a batched scenario's
+    packaged result cannot drift from its single-run counterpart.
+
+    Args:
+        sent_out / lost_out / rtt_out: ``(|paths|, T)`` per-interval
+            columns.
+        link_arr_out / link_drop_out: ``(|links|, |classes|, T)``.
+        queue_occ_out: ``(|links|, T)``.
+        flows_by_path: ``(|paths|,)`` completed-flow counts.
+    """
+    records = []
+    flows_completed = {
+        pid: int(flows_by_path[p]) for p, pid in enumerate(path_ids)
+    }
+    for p, pid in enumerate(path_ids):
+        if not workloads[pid].measured:
+            continue
+        sent_i = np.rint(sent_out[p]).astype(np.int64)
+        lost_i = np.minimum(
+            np.rint(lost_out[p]).astype(np.int64), sent_i
+        )
+        records.append(PathRecord(pid, sent_i, lost_i))
+    link_arr = {
+        lid: {
+            cn: link_arr_out[l, c]
+            for c, cn in enumerate(class_names)
+        }
+        for l, lid in enumerate(link_ids)
+    }
+    link_drop = {
+        lid: {
+            cn: link_drop_out[l, c]
+            for c, cn in enumerate(class_names)
+        }
+        for l, lid in enumerate(link_ids)
+    }
+    queue_occ = {
+        lid: queue_occ_out[l] for l, lid in enumerate(link_ids)
+    }
+    rtt_by_path = {
+        pid: rtt_out[p] for p, pid in enumerate(path_ids)
+    }
+    return FluidResult(
+        measurements=MeasurementData(records, interval_seconds),
+        link_class_arrivals=link_arr,
+        link_class_drops=link_drop,
+        queue_occupancy=queue_occ,
+        interval_seconds=interval_seconds,
+        flows_completed=flows_completed,
+        path_rtt_seconds=rtt_by_path,
+    )
+
+
 class FluidNetwork:
     """A runnable fluid emulation of a network.
 
@@ -243,6 +315,49 @@ class FluidNetwork:
             raise EmulationError("duration shorter than one interval")
         session.advance(num_intervals)
         return session.result()
+
+    @classmethod
+    def run_batch(
+        cls,
+        net: Network,
+        classes: ClassAssignment,
+        spec_sets,
+        workloads: Mapping[str, PathWorkload],
+        seeds,
+        duration_seconds,
+        dt: float = DEFAULT_DT,
+        interval_seconds: float = DEFAULT_INTERVAL,
+        warmup_seconds: float = 0.0,
+        send_jitter_cv: float = DEFAULT_SEND_JITTER_CV,
+    ):
+        """Run ``B`` link-spec variants of one topology in lockstep.
+
+        One time-stepped numpy program advances every scenario at
+        once (:mod:`repro.fluid.batch`); scenario ``b``'s
+        :class:`FluidResult` is floating-point-identical to
+        ``FluidNetwork(net, classes, spec_sets[b], workloads,
+        seed=seeds[b]).run(...)``. ``duration_seconds`` may be a
+        scalar or one duration per scenario (shorter worlds drop out
+        of the batch early via the active mask).
+
+        Returns:
+            One :class:`FluidResult` per scenario, in order.
+        """
+        from repro.fluid.batch import FluidBatchNetwork
+
+        return FluidBatchNetwork(
+            net,
+            classes,
+            spec_sets,
+            workloads,
+            seeds,
+            send_jitter_cv=send_jitter_cv,
+        ).run(
+            duration_seconds,
+            dt=dt,
+            interval_seconds=interval_seconds,
+            warmup_seconds=warmup_seconds,
+        )
 
     def session(
         self,
@@ -950,61 +1065,24 @@ class FluidSession:
             )
         sim = self._sim
         path_ids = self._path_ids
-        link_ids = list(sim._net.link_ids)
-        class_names = sim._classes.names
-        num_paths = len(path_ids)
-        sent_out = np.stack(self._sent_cols, axis=1)
-        lost_out = np.stack(self._lost_cols, axis=1)
-        rtt_out = np.stack(self._rtt_cols, axis=1)
-        link_arr_out = np.stack(self._arr_cols, axis=2)
-        link_drop_out = np.stack(self._drop_cols, axis=2)
-        queue_occ_out = np.stack(self._occ_cols, axis=1)
-
-        records = []
         flows_by_path = np.bincount(
             self._spath,
             weights=self._slots.flows_completed,
-            minlength=num_paths,
+            minlength=len(path_ids),
         )
-        flows_completed = {
-            pid: int(flows_by_path[p]) for p, pid in enumerate(path_ids)
-        }
-        for p, pid in enumerate(path_ids):
-            if not sim._workloads[pid].measured:
-                continue
-            sent_i = np.rint(sent_out[p]).astype(np.int64)
-            lost_i = np.minimum(
-                np.rint(lost_out[p]).astype(np.int64), sent_i
-            )
-            records.append(PathRecord(pid, sent_i, lost_i))
-        link_arr = {
-            lid: {
-                cn: link_arr_out[l, c]
-                for c, cn in enumerate(class_names)
-            }
-            for l, lid in enumerate(link_ids)
-        }
-        link_drop = {
-            lid: {
-                cn: link_drop_out[l, c]
-                for c, cn in enumerate(class_names)
-            }
-            for l, lid in enumerate(link_ids)
-        }
-        queue_occ = {
-            lid: queue_occ_out[l] for l, lid in enumerate(link_ids)
-        }
-        rtt_by_path = {
-            pid: rtt_out[p] for p, pid in enumerate(path_ids)
-        }
-        return FluidResult(
-            measurements=MeasurementData(records, self.interval_seconds),
-            link_class_arrivals=link_arr,
-            link_class_drops=link_drop,
-            queue_occupancy=queue_occ,
-            interval_seconds=self.interval_seconds,
-            flows_completed=flows_completed,
-            path_rtt_seconds=rtt_by_path,
+        return package_result(
+            path_ids,
+            list(sim._net.link_ids),
+            sim._classes.names,
+            sim._workloads,
+            np.stack(self._sent_cols, axis=1),
+            np.stack(self._lost_cols, axis=1),
+            np.stack(self._rtt_cols, axis=1),
+            np.stack(self._arr_cols, axis=2),
+            np.stack(self._drop_cols, axis=2),
+            np.stack(self._occ_cols, axis=1),
+            flows_by_path,
+            self.interval_seconds,
         )
 
 

@@ -208,6 +208,16 @@ class TcpArrayState:
     CUBIC's epoch constants (``K`` and the friendly-region intercept)
     are precomputed when an epoch opens instead of per step — they
     only change when ``w_max`` does.
+
+    The scenario-batched engine (:mod:`repro.fluid.batch`) reuses
+    this class unchanged with the batch axis *folded into the slot
+    axis* (scenario ``b``'s slot ``i`` at flat index ``b·S + i``):
+    every operation here is elementwise or an index-subset update —
+    there are no cross-slot reductions — so per-scenario slices of a
+    flattened state evolve bit-identically to ``B`` separate
+    instances. Keep it that way: a cross-slot reduction added here
+    would silently break the batched engine's floating-point-identity
+    contract.
     """
 
     def __init__(self, is_cubic: np.ndarray) -> None:

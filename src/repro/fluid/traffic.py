@@ -139,6 +139,49 @@ class SlotArrays:
     def __len__(self) -> int:
         return len(self.path_index)
 
+    @classmethod
+    def concat(
+        cls,
+        parts: "list[SlotArrays]",
+        num_paths: int,
+    ) -> "SlotArrays":
+        """Stack per-scenario slot arrays into one batch-ordered set.
+
+        The scenario-batched engine folds the scenario axis into the
+        slot axis: scenario ``b``'s slot ``i`` lands at flat index
+        ``b * S + i`` and its path at flat index ``b * num_paths +
+        p``. Every per-slot operation (offers, TCP updates, flow
+        starts/completions on index subsets) then applies unchanged
+        to the flattened arrays, and per-path reductions over
+        ``path_index`` stay segregated per scenario. Each part must
+        be freshly built from its own scenario's RNG so the initial
+        stagger/RTT-perturbation draws match the scenario's single
+        run.
+        """
+        merged = cls.__new__(cls)
+        merged.path_index = np.concatenate(
+            [
+                part.path_index + b * num_paths
+                for b, part in enumerate(parts)
+            ]
+        )
+        for name in (
+            "mean_packets",
+            "alpha",
+            "gap_mean",
+            "is_cubic",
+            "rtt_factor",
+            "next_start",
+            "remaining",
+            "flows_completed",
+        ):
+            setattr(
+                merged,
+                name,
+                np.concatenate([getattr(part, name) for part in parts]),
+            )
+        return merged
+
     def start_flows(self, idx: np.ndarray, rng: np.random.Generator) -> None:
         """Begin the next flow on each slot in ``idx``.
 
@@ -146,10 +189,11 @@ class SlotArrays:
         slot's tail index (one draw per starting Pareto slot, in slot
         order), or the fixed mean for ``alpha == 0``.
         """
-        sizes = self.mean_packets[idx].copy()
-        pareto = self.alpha[idx] > 0
+        sizes = self.mean_packets[idx]  # fancy indexing copies
+        alphas = self.alpha[idx]
+        pareto = alphas > 0
         if pareto.any():
-            a = self.alpha[idx][pareto]
+            a = alphas[pareto]
             x_m = sizes[pareto] * (a - 1.0) / a
             sizes[pareto] = x_m * (1.0 + rng.pareto(a))
         np.maximum(sizes, 1.0, out=sizes)
@@ -161,10 +205,11 @@ class SlotArrays:
         """Finish the current flow on each slot in ``idx``."""
         self.flows_completed[idx] += 1
         self.remaining[idx] = 0.0
+        means = self.gap_mean[idx]
         gaps = np.zeros(len(idx))
-        drawn = self.gap_mean[idx] > 0
+        drawn = means > 0
         if drawn.any():
-            gaps[drawn] = rng.exponential(self.gap_mean[idx][drawn])
+            gaps[drawn] = rng.exponential(means[drawn])
         self.next_start[idx] = now + gaps
 
 

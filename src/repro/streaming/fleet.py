@@ -29,6 +29,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.sweep import SweepPoint, SweepRunner, SweepStats
 from repro.streaming.monitor import ChangePoint, NeutralityMonitor
 from repro.streaming.stream import EmulationStream
+from repro.substrate.batch import substrate_supports_batch
 from repro.substrate.scenario import Scenario, compile_scenario
 
 
@@ -121,11 +122,9 @@ class MonitorOutcome:
         )
 
 
-def run_monitor_task(seed: int, task: MonitorTask) -> MonitorOutcome:
-    """Execute one monitoring task end to end (module-level, so the
-    fleet can dispatch it through a process pool)."""
-    from repro.experiments.runner import measured_subnetwork
-
+def _compile_task(seed: int, task: MonitorTask):
+    """Lower one task to (settings, compiled scenario, start specs,
+    switch schedule) — shared by the single and batched executors."""
     settings = task.scenario.settings.with_seed(seed)
     scenario = replace(task.scenario, settings=settings)
     compiled_on = compile_scenario(scenario)
@@ -138,34 +137,18 @@ def run_monitor_task(seed: int, task: MonitorTask) -> MonitorOutcome:
             switches[task.offset_interval] = compiled_off.link_specs
     else:
         start_specs = compiled_on.link_specs
+    return settings, compiled_on, start_specs, switches
 
-    stream = EmulationStream(
-        compiled_on.network,
-        compiled_on.classes,
-        start_specs,
-        compiled_on.workloads,
-        settings=settings,
-        substrate=scenario.substrate,
-        chunk_intervals=task.chunk_intervals,
-        switches=switches,
-        # The monitor consumes only the chunks; dropping the
-        # ground-truth history keeps long fleet runs' memory bounded.
-        keep_ground_truth=False,
-    )
-    inference_net = measured_subnetwork(
-        compiled_on.network, compiled_on.workloads
-    )
-    monitor = NeutralityMonitor(
-        inference_net,
-        settings=settings,
-        window_intervals=task.window_intervals,
-        stride=(
-            task.stride if task.stride is not None else task.chunk_intervals
-        ),
-    )
-    report = monitor.run(stream)
 
-    truth = compiled_on.ground_truth_links
+def _outcome_from_report(
+    task: MonitorTask,
+    substrate: str,
+    truth: FrozenSet[str],
+    report,
+    num_intervals: int,
+) -> MonitorOutcome:
+    """Condense a :class:`~repro.streaming.monitor.MonitorReport`
+    into the fleet's compact outcome (single and batched paths)."""
     delay = None
     if task.onset_interval is not None:
         truth_cols = [
@@ -184,7 +167,7 @@ def run_monitor_task(seed: int, task: MonitorTask) -> MonitorOutcome:
     final = report.final
     return MonitorOutcome(
         name=task.name,
-        substrate=scenario.substrate,
+        substrate=substrate,
         sigmas=report.sigmas,
         window_ends=report.window_ends,
         scores=report.scores,
@@ -195,17 +178,197 @@ def run_monitor_task(seed: int, task: MonitorTask) -> MonitorOutcome:
         ground_truth_links=truth,
         onset_interval=task.onset_interval,
         detection_delay_intervals=delay,
-        num_intervals=monitor.stats.num_intervals,
+        num_intervals=num_intervals,
     )
+
+
+def run_monitor_task(seed: int, task: MonitorTask) -> MonitorOutcome:
+    """Execute one monitoring task end to end (module-level, so the
+    fleet can dispatch it through a process pool)."""
+    from repro.experiments.runner import measured_subnetwork
+
+    settings, compiled_on, start_specs, switches = _compile_task(
+        seed, task
+    )
+    stream = EmulationStream(
+        compiled_on.network,
+        compiled_on.classes,
+        start_specs,
+        compiled_on.workloads,
+        settings=settings,
+        substrate=task.scenario.substrate,
+        chunk_intervals=task.chunk_intervals,
+        switches=switches,
+        # The monitor consumes only the chunks; dropping the
+        # ground-truth history keeps long fleet runs' memory bounded.
+        keep_ground_truth=False,
+    )
+    inference_net = measured_subnetwork(
+        compiled_on.network, compiled_on.workloads
+    )
+    monitor = NeutralityMonitor(
+        inference_net,
+        settings=settings,
+        window_intervals=task.window_intervals,
+        stride=(
+            task.stride if task.stride is not None else task.chunk_intervals
+        ),
+    )
+    report = monitor.run(stream)
+    return _outcome_from_report(
+        task,
+        task.scenario.substrate,
+        compiled_on.ground_truth_links,
+        report,
+        monitor.stats.num_intervals,
+    )
+
+
+def monitor_task_group(task: MonitorTask) -> str:
+    """Batch-compatibility key of a task: everything that shapes the
+    shared emulation program — topology and workload knobs, settings,
+    substrate, and chunk cadence — with the name, the *policy*, and
+    the baked settings seed masked out: worlds of one batch may
+    differ in what differentiation they run and when they switch it
+    (specs and swaps are per scenario), and each task's emulation
+    seed is re-derived from its name regardless of the baked one."""
+    neutral = replace(
+        task.scenario,
+        name="",
+        policy=None,
+        settings=task.scenario.settings.with_seed(0),
+    )
+    return (
+        f"{task.scenario.substrate}/{task.chunk_intervals}/{neutral!r}"
+    )
+
+
+def run_monitor_task_batch(seeds, kwargs_list) -> list:
+    """Batched executor: many monitored worlds, one emulation program.
+
+    The grouped tasks share topology, workloads, and settings (the
+    batch group guarantees it), so their streams advance as one
+    scenario-batched substrate session — per-world link specs, swap
+    schedules, and seeds — feeding one
+    :class:`~repro.streaming.monitor.NeutralityMonitor` per task.
+    Each outcome equals the task's single
+    :func:`run_monitor_task` run: the emulated records are
+    floating-point-identical, and the monitor's incremental window
+    statistics are chunking-invariant (the global segment boundaries
+    here are the union of every world's switch points).
+    """
+    from repro.experiments.runner import measured_subnetwork
+    from repro.substrate.registry import get_substrate
+
+    tasks = [kwargs["task"] for kwargs in kwargs_list]
+    # Guard against an incomplete batch_group key upstream: every
+    # member must share the emulation-shaping knobs (the same mask
+    # monitor_task_group applies — policy/name/baked-seed may vary).
+    reference = monitor_task_group(tasks[0])
+    for task in tasks[1:]:
+        if monitor_task_group(task) != reference:
+            raise ConfigurationError(
+                "batched monitor tasks must share topology, "
+                "workload, settings, substrate, and chunk cadence"
+            )
+    compiled = [
+        _compile_task(seed, task) for seed, task in zip(seeds, tasks)
+    ]
+    settings = compiled[0][0]
+    substrate = tasks[0].scenario.substrate
+    base = compiled[0][1]
+    total = int(
+        round(settings.duration_seconds / settings.interval_seconds)
+    )
+    if total < 1:
+        raise ConfigurationError("stream shorter than one interval")
+    # The same switch-bounds validation EmulationStream applies on
+    # the single path — an out-of-range onset/offset must fail
+    # identically whether or not the task was batched (cached
+    # outcomes are shared between the two modes).
+    for task, (_, _, _, switches) in zip(tasks, compiled):
+        for at in switches:
+            if not 0 <= at < total:
+                raise ConfigurationError(
+                    f"task {task.name!r}: switch interval {at} "
+                    f"outside the stream [0, {total})"
+                )
+    backend = get_substrate(substrate)
+    session = backend.start_batch(
+        base.network,
+        base.classes,
+        [start_specs for _, _, start_specs, _ in compiled],
+        base.workloads,
+        settings,
+        seeds,
+        keep_ground_truth=False,
+        interval_limits=[total] * len(tasks),
+    )
+    inference_net = measured_subnetwork(base.network, base.workloads)
+    monitors = []
+    for (task_settings, _, _, _), task in zip(compiled, tasks):
+        monitor = NeutralityMonitor(
+            inference_net,
+            settings=task_settings,
+            window_intervals=task.window_intervals,
+            stride=(
+                task.stride
+                if task.stride is not None
+                else task.chunk_intervals
+            ),
+        )
+        monitor.stats.reserve(total)
+        monitors.append(monitor)
+    chunk = tasks[0].chunk_intervals
+    switch_union = sorted(
+        {at for _, _, _, switches in compiled for at in switches}
+    )
+    done = 0
+    while done < total:
+        for b, (_, _, _, switches) in enumerate(compiled):
+            if done in switches:
+                session.set_link_specs(switches[done], scenario=b)
+        upcoming = [at for at in switch_union if at > done]
+        next_stop = min(
+            upcoming[0] if upcoming else total, total
+        )
+        n = min(chunk, next_stop - done)
+        chunks = session.advance(n)
+        for monitor, chunk_b in zip(monitors, chunks):
+            monitor.observe(chunk_b)
+        done += n
+    outcomes = []
+    for (_, compiled_on, _, _), task, monitor in zip(
+        compiled, tasks, monitors
+    ):
+        outcomes.append(
+            _outcome_from_report(
+                task,
+                substrate,
+                compiled_on.ground_truth_links,
+                monitor.report(),
+                monitor.stats.num_intervals,
+            )
+        )
+    return outcomes
 
 
 class MonitorFleet:
     """Monitor many scenarios concurrently, with caching.
 
+    Tasks whose scenarios are batch-compatible (same topology and
+    workload knobs, same settings and chunk cadence, any mix of
+    policies/onsets/seeds) run as scenario batches on batch-capable
+    substrates — one lockstep emulation program monitoring many
+    worlds per worker task. ``batch_size=1`` restores strictly
+    per-task execution; outcomes are identical either way.
+
     Args:
         base_seed: Folded into every task's derived seed.
         workers: Process count (1 = run inline).
         cache_dir: Outcome cache directory (``None`` disables).
+        batch_size: Maximum tasks per scenario batch (``None`` =
+            auto).
     """
 
     def __init__(
@@ -213,9 +376,13 @@ class MonitorFleet:
         base_seed: int = 1,
         workers: int = 1,
         cache_dir: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self._runner = SweepRunner(
-            base_seed=base_seed, workers=workers, cache_dir=cache_dir
+            base_seed=base_seed,
+            workers=workers,
+            cache_dir=cache_dir,
+            batch_size=batch_size,
         )
 
     @property
@@ -226,13 +393,23 @@ class MonitorFleet:
         self, tasks: Sequence[MonitorTask]
     ) -> Dict[str, MonitorOutcome]:
         """Run every task; returns ``{name: outcome}`` in task order."""
-        points = [
-            SweepPoint(
-                key=task.name,
-                func=run_monitor_task,
-                kwargs={"task": task},
-                substrate=task.scenario.substrate,
+        points = []
+        for task in tasks:
+            batchable = substrate_supports_batch(
+                task.scenario.substrate
             )
-            for task in tasks
-        ]
+            points.append(
+                SweepPoint(
+                    key=task.name,
+                    func=run_monitor_task,
+                    kwargs={"task": task},
+                    substrate=task.scenario.substrate,
+                    batch_func=(
+                        run_monitor_task_batch if batchable else None
+                    ),
+                    batch_group=(
+                        monitor_task_group(task) if batchable else None
+                    ),
+                )
+            )
         return self._runner.run(points)

@@ -10,6 +10,11 @@ registered backend.
 """
 
 from repro.substrate.base import EmulationSubstrate, SubstrateResult
+from repro.substrate.batch import (
+    ScenarioBatch,
+    run_scenario_batch,
+    substrate_supports_batch,
+)
 from repro.substrate.registry import (
     FluidSubstrate,
     PacketSubstrate,
@@ -44,6 +49,7 @@ __all__ = [
     "MECHANISMS",
     "PacketSubstrate",
     "Scenario",
+    "ScenarioBatch",
     "SubstrateResult",
     "available_substrates",
     "compile_scenario",
@@ -51,7 +57,9 @@ __all__ = [
     "get_substrate",
     "normalize_specs",
     "run_scenario",
+    "run_scenario_batch",
     "substrate_cache_tag",
+    "substrate_supports_batch",
     "to_fluid",
     "to_packet",
 ]

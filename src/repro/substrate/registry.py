@@ -45,22 +45,61 @@ class _CompiledSession:
     def advance(self, num_intervals: int):
         return self._session.advance(num_intervals)
 
-    def set_link_specs(self, link_specs: Mapping[str, LinkSpec]) -> None:
+    def _compile_specs(self, link_specs: Mapping[str, LinkSpec]):
+        """Normalize + compile a swap's specs to engine-native form
+        (the one compilation step both session wrappers share)."""
         from repro.substrate.spec import normalize_specs
 
-        self._session.set_link_specs(
-            {
-                lid: self._compile(spec)
-                for lid, spec in normalize_specs(link_specs).items()
-            }
-        )
+        return {
+            lid: self._compile(spec)
+            for lid, spec in normalize_specs(link_specs).items()
+        }
+
+    def set_link_specs(self, link_specs: Mapping[str, LinkSpec]) -> None:
+        self._session.set_link_specs(self._compile_specs(link_specs))
 
     def result(self):
         return self._session.result()
 
 
+class _CompiledBatchSession(_CompiledSession):
+    """Shared-vocabulary wrapper over a batched engine session.
+
+    The many-worlds counterpart of :class:`_CompiledSession` (which
+    provides the construction, progress properties, ``advance``, and
+    the spec-compilation step): swaps take an optional ``scenario``
+    index and results are per scenario.
+    """
+
+    @property
+    def num_scenarios(self) -> int:
+        return self._session.num_scenarios
+
+    def scenario_intervals_done(self, scenario: int) -> int:
+        return self._session.scenario_intervals_done(scenario)
+
+    def set_link_specs(
+        self, link_specs: Mapping[str, LinkSpec], scenario=None
+    ) -> None:
+        self._session.set_link_specs(
+            self._compile_specs(link_specs), scenario=scenario
+        )
+
+    def result(self, scenario: int):
+        return self._session.result(scenario)
+
+    def results(self):
+        return self._session.results()
+
+
 class FluidSubstrate:
-    """The time-stepped fluid engine (primary sweep substrate)."""
+    """The time-stepped fluid engine (primary sweep substrate).
+
+    Also the one substrate with the *batch capability*
+    (``run_batch`` / ``start_batch``): many link-spec variants of one
+    topology advance as a single lockstep numpy program
+    (:mod:`repro.fluid.batch`), each variant's output
+    floating-point-identical to its single run."""
 
     name = "fluid"
 
@@ -118,6 +157,80 @@ class FluidSubstrate:
                 interval_seconds=settings.interval_seconds,
                 warmup_seconds=settings.warmup_seconds,
                 keep_ground_truth=keep_ground_truth,
+            ),
+            to_fluid,
+        )
+
+    def run_batch(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        spec_sets,
+        workloads: Mapping[str, PathWorkload],
+        settings: "EmulationSettings",
+        seeds,
+        durations=None,
+    ):
+        """Emulate ``B`` link-spec variants in one lockstep program.
+
+        Variant ``b``'s result is floating-point-identical to
+        :meth:`run` with ``spec_sets[b]`` and
+        ``settings.with_seed(seeds[b])``.
+        """
+        from repro.fluid.batch import FluidBatchNetwork
+
+        sim = FluidBatchNetwork(
+            net,
+            classes,
+            [
+                {lid: to_fluid(spec) for lid, spec in specs.items()}
+                for specs in spec_sets
+            ],
+            workloads,
+            seeds,
+        )
+        return sim.run(
+            (
+                settings.duration_seconds
+                if durations is None
+                else list(durations)
+            ),
+            dt=settings.dt,
+            interval_seconds=settings.interval_seconds,
+            warmup_seconds=settings.warmup_seconds,
+        )
+
+    def start_batch(
+        self,
+        net: Network,
+        classes: ClassAssignment,
+        spec_sets,
+        workloads: Mapping[str, PathWorkload],
+        settings: "EmulationSettings",
+        seeds,
+        keep_ground_truth: bool = True,
+        interval_limits=None,
+    ) -> _CompiledBatchSession:
+        """Open a resumable many-worlds session (streaming mode)."""
+        from repro.fluid.batch import FluidBatchNetwork
+
+        sim = FluidBatchNetwork(
+            net,
+            classes,
+            [
+                {lid: to_fluid(spec) for lid, spec in specs.items()}
+                for specs in spec_sets
+            ],
+            workloads,
+            seeds,
+        )
+        return _CompiledBatchSession(
+            sim.session(
+                dt=settings.dt,
+                interval_seconds=settings.interval_seconds,
+                warmup_seconds=settings.warmup_seconds,
+                keep_ground_truth=keep_ground_truth,
+                interval_limits=interval_limits,
             ),
             to_fluid,
         )

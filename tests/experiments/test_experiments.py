@@ -126,3 +126,44 @@ class TestRunner:
             ),
         )
         assert out.quality is None
+
+
+class TestTopologyBBatchedSweep:
+    def test_batched_repetitions_match_unbatched(self):
+        """Topology-B repetitions share everything but the seed, so
+        they run as one scenario batch — which must reproduce the
+        one-at-a-time sweep report for report."""
+        import numpy as np
+        from dataclasses import replace
+
+        from repro.experiments.topology_b import (
+            TOPOLOGY_B_SETTINGS,
+            run_topology_b_sweep,
+        )
+
+        quick = replace(
+            TOPOLOGY_B_SETTINGS,
+            duration_seconds=15.0,
+            warmup_seconds=2.0,
+        )
+        plain = run_topology_b_sweep(
+            repetitions=2, settings=quick, batch_size=1
+        )
+        batched = run_topology_b_sweep(repetitions=2, settings=quick)
+        for a, b in zip(plain, batched):
+            assert a.ground_truth == b.ground_truth
+            assert a.outcome.observations == b.outcome.observations
+            assert (
+                a.outcome.algorithm.identified
+                == b.outcome.algorithm.identified
+            )
+            data_a = a.outcome.emulation.measurements
+            data_b = b.outcome.emulation.measurements
+            for pid in data_a.path_ids:
+                np.testing.assert_array_equal(
+                    data_a.record(pid).sent, data_b.record(pid).sent
+                )
+            for lid, trace in a.queue_traces_mb.items():
+                np.testing.assert_array_equal(
+                    trace, b.queue_traces_mb[lid]
+                )

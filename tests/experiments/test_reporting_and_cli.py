@@ -86,6 +86,35 @@ class TestCli:
         out = capsys.readouterr().out
         assert "topoA/set6" in out
 
+    def test_sweep_reports_batches(self, capsys):
+        code = main(
+            ["sweep", "--sets", "6", "--duration", "15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Set 6 is rate-varying: its 4 points form one batch.
+        assert "batching: 1 batch(es) covering 4 point(s)" in out
+
+    def test_sweep_batch_size_one_disables(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--sets", "6",
+                "--duration", "15",
+                "--batch-size", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batching: 0 batch(es)" in out
+
+    def test_sweep_bad_batch_size(self, capsys):
+        code = main(
+            ["sweep", "--sets", "6", "--batch-size", "0"]
+        )
+        assert code == 2
+        assert "--batch-size" in capsys.readouterr().err
+
     def test_unknown_substrate_reports_clean_error(self, capsys):
         code = main(
             ["fig8", "--set", "6", "--substrate", "ns3",

@@ -58,6 +58,37 @@ def _points(values=(1.0, 2.0, 5.0)):
     ]
 
 
+# Module-level batch executors (picklable for worker pools).
+def _emulate_batch(seeds, kwargs_list):
+    """Reference batch executor: per-member results must equal the
+    single-point path exactly, so delegating to it is the contract."""
+    return [
+        _emulate_point(seed=seed, **kwargs)
+        for seed, kwargs in zip(seeds, kwargs_list)
+    ]
+
+
+def _broken_batch(seeds, kwargs_list):
+    raise RuntimeError("this batch executor always fails")
+
+
+def _short_batch(seeds, kwargs_list):
+    return [_emulate_point(seed=seeds[0], **kwargs_list[0])]
+
+
+def _batched_points(values=(1.0, 2.0, 5.0), batch_func=_emulate_batch):
+    return [
+        SweepPoint(
+            key=f"point/{v}",
+            func=_emulate_point,
+            kwargs={"value": v},
+            batch_func=batch_func,
+            batch_group="grp",
+        )
+        for v in values
+    ]
+
+
 class TestSeedDerivation:
     def test_stable(self):
         assert derive_seed(1, "a") == derive_seed(1, "a")
@@ -208,6 +239,205 @@ class TestCache:
         again.run(_points((1.0,)))
         assert again.stats.executed == 1
 
+    def test_truncated_entry_reruns_and_heals(self, tmp_path):
+        """Satellite regression: a crashed worker must never be able
+        to leave a truncated pickle that poisons ``_cache_load``. The
+        atomic temp-file + ``os.replace`` write makes truncation
+        impossible in-process; if one appears anyway (kill -9 legacy
+        file, disk-full remnant), loading must treat it as a miss and
+        the re-run must heal the entry."""
+        cache = tmp_path / "cache"
+        runner = SweepRunner(base_seed=5, cache_dir=str(cache))
+        first = runner.run(_points((1.0,)))
+        entries = list(cache.glob("*.pkl"))
+        assert len(entries) == 1
+        valid = entries[0].read_bytes()
+        entries[0].write_bytes(valid[: len(valid) // 2])  # truncate
+        again = SweepRunner(base_seed=5, cache_dir=str(cache))
+        healed = again.run(_points((1.0,)))
+        assert again.stats.cache_hits == 0
+        assert again.stats.executed == 1
+        assert healed == first
+        # ...and the entry is whole again afterwards.
+        third = SweepRunner(base_seed=5, cache_dir=str(cache))
+        assert third.run(_points((1.0,))) == first
+        assert third.stats.cache_hits == 1
+
+    def test_failed_store_preserves_existing_entry(self, tmp_path, monkeypatch):
+        """A write that dies mid-pickle must leave the previous entry
+        (and no temp litter) behind — the rename is all-or-nothing."""
+        import pickle as pickle_module
+
+        cache = tmp_path / "cache"
+        runner = SweepRunner(base_seed=5, cache_dir=str(cache))
+        first = runner.run(_points((1.0,)))
+        [entry] = list(cache.glob("*.pkl"))
+        before = entry.read_bytes()
+
+        def exploding_dump(obj, fh, protocol=None):
+            fh.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pickle_module, "dump", exploding_dump)
+        # Force a re-execution (cache_salt change) writing to the same
+        # directory; its store attempt fails mid-write.
+        salted = SweepRunner(
+            base_seed=5, cache_dir=str(cache), cache_salt="x"
+        )
+        rerun = salted.run(_points((1.0,)))
+        monkeypatch.undo()
+        assert rerun == first  # result still produced
+        assert entry.read_bytes() == before  # old entry untouched
+        assert not list(cache.glob("*.tmp*"))  # no litter
+
+
+class TestBatching:
+    def test_batched_equals_single(self, tmp_path):
+        """Grouped execution must be invisible in the results."""
+        plain = SweepRunner(base_seed=5).run(_points())
+        batched = SweepRunner(base_seed=5).run(_batched_points())
+        assert plain == batched
+
+    def test_batched_equals_single_parallel(self):
+        plain = SweepRunner(base_seed=5, workers=1).run(_points())
+        batched = SweepRunner(base_seed=5, workers=3).run(
+            _batched_points()
+        )
+        assert plain == batched
+
+    def test_stats_count_batches(self):
+        runner = SweepRunner(base_seed=5)
+        runner.run(_batched_points())
+        assert runner.stats.batches == 1
+        assert runner.stats.batched_points == 3
+        assert runner.stats.executed == 3
+
+    def test_batch_size_caps_groups(self):
+        runner = SweepRunner(base_seed=5, batch_size=2)
+        runner.run(_batched_points((1.0, 2.0, 5.0, 7.0, 9.0)))
+        # 5 points at cap 2 -> batches of 2+2, last point single.
+        assert runner.stats.batches == 2
+        assert runner.stats.batched_points == 4
+
+    def test_batch_size_one_disables(self):
+        runner = SweepRunner(base_seed=5, batch_size=1)
+        results = runner.run(_batched_points())
+        assert runner.stats.batches == 0
+        assert results == SweepRunner(base_seed=5).run(_points())
+
+    def test_mixed_groups_and_singles(self):
+        points = _batched_points((1.0, 2.0)) + _points((5.0,))
+        runner = SweepRunner(base_seed=5)
+        results = runner.run(points)
+        assert runner.stats.batches == 1
+        assert runner.stats.batched_points == 2
+        assert results == SweepRunner(base_seed=5).run(_points())
+
+    def test_lone_group_member_runs_single(self):
+        runner = SweepRunner(base_seed=5)
+        runner.run(_batched_points((1.0,)))
+        assert runner.stats.batches == 0
+        assert runner.stats.executed == 1
+
+    def test_failed_batch_retries_members_singly(self):
+        """The retry phase: a broken batch executor must not lose the
+        sweep — every member re-runs through its own func, and the
+        failure is surfaced as a warning, not swallowed."""
+        runner = SweepRunner(base_seed=5)
+        with pytest.warns(RuntimeWarning, match="always fails"):
+            results = runner.run(
+                _batched_points(batch_func=_broken_batch)
+            )
+        assert runner.stats.batch_retries == 3
+        assert results == SweepRunner(base_seed=5).run(_points())
+
+    def test_failed_batch_retries_members_singly_parallel(self):
+        runner = SweepRunner(base_seed=5, workers=3)
+        with pytest.warns(RuntimeWarning, match="retrying each point"):
+            results = runner.run(
+                _batched_points(batch_func=_broken_batch)
+            )
+        assert runner.stats.batch_retries == 3
+        assert results == SweepRunner(base_seed=5).run(_points())
+
+    def test_wrong_length_batch_result_retried(self):
+        runner = SweepRunner(base_seed=5)
+        with pytest.warns(RuntimeWarning):
+            results = runner.run(
+                _batched_points(batch_func=_short_batch)
+            )
+        assert runner.stats.batch_retries == 3
+        assert results == SweepRunner(base_seed=5).run(_points())
+
+    def test_mismatched_batch_members_recovered_via_guard(self):
+        """Review regression: the topology-A batch executor rejects
+        members whose shared kwargs disagree (an incomplete
+        batch_group upstream must fail loudly, not emulate a member
+        under another member's settings); the runner then recovers
+        every point singly with correct results."""
+        other = EmulationSettings(
+            duration_seconds=30.0, warmup_seconds=5.0, seed=9
+        )
+        from repro.experiments.topology_a import (
+            _sweep_point,
+            _sweep_point_batch,
+        )
+
+        points = [
+            SweepPoint(
+                key=f"mix/{i}",
+                func=_sweep_point,
+                kwargs={
+                    "set_number": 6,
+                    "value": value,
+                    "settings": settings,
+                    "substrate": "fluid",
+                },
+                batch_func=_sweep_point_batch,
+                batch_group="mix",  # deliberately too-coarse group
+            )
+            for i, (value, settings) in enumerate(
+                [(30.0, QUICK), (20.0, other)]
+            )
+        ]
+        runner = SweepRunner(base_seed=5)
+        with pytest.warns(RuntimeWarning, match="must share"):
+            results = runner.run(points)
+        assert runner.stats.batch_retries == 2
+        singles = SweepRunner(base_seed=5, batch_size=1).run(points)
+        for key in results:
+            assert (
+                results[key].path_congestion
+                == singles[key].path_congestion
+            )
+
+    def test_cache_interchangeable_with_single_results(self, tmp_path):
+        """Per-point digests are batching-agnostic: a batched sweep
+        fills the cache a later unbatched sweep hits, and vice
+        versa."""
+        cache = str(tmp_path / "cache")
+        SweepRunner(base_seed=5, cache_dir=cache).run(_batched_points())
+        unbatched = SweepRunner(
+            base_seed=5, cache_dir=cache, batch_size=1
+        )
+        results = unbatched.run(_points())
+        assert unbatched.stats.cache_hits == 3
+        assert unbatched.stats.executed == 0
+        assert results == SweepRunner(base_seed=5).run(_points())
+
+    def test_partial_cache_batches_only_misses(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        SweepRunner(base_seed=5, cache_dir=cache).run(_points((1.0,)))
+        runner = SweepRunner(base_seed=5, cache_dir=cache)
+        runner.run(_batched_points((1.0, 2.0, 5.0)))
+        assert runner.stats.cache_hits == 1
+        assert runner.stats.batches == 1
+        assert runner.stats.batched_points == 2
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(batch_size=0)
+
 
 class TestTopologyAWiring:
     def test_run_full_set_parallel_matches_sequential(self, tmp_path):
@@ -236,3 +466,61 @@ class TestTopologyAWiring:
         assert all(p.seed is None for p in pts)
         pinned = sweep_points([1], QUICK, derive_seeds=False)
         assert all(p.seed == QUICK.seed for p in pinned)
+
+    def test_rate_varying_sets_carry_batch_hooks(self):
+        """Sets 6/9 share topology+workloads across values (only the
+        mechanism rate changes), so they batch on the fluid
+        substrate; workload-varying sets and batchless substrates
+        must not."""
+        for set_number in (6, 9):
+            pts = sweep_points([set_number], QUICK)
+            assert all(p.batch_func is not None for p in pts)
+            assert len({p.batch_group for p in pts}) == 1
+        for set_number in (1, 4, 7):
+            assert all(
+                p.batch_func is None
+                for p in sweep_points([set_number], QUICK)
+            )
+        assert all(
+            p.batch_func is None
+            for p in sweep_points([6], QUICK, substrate="packet")
+        )
+
+    def test_batched_set6_matches_unbatched(self):
+        """The real scenario-batched pipeline: one Table 2 rate grid
+        emulated as a batch must reproduce the one-at-a-time sweep
+        outcome for outcome, bit for bit."""
+        quick = EmulationSettings(
+            duration_seconds=20.0, warmup_seconds=2.0
+        )
+        plain = run_full_set(6, quick, batch_size=1)
+        runner_checked = run_full_set(6, quick)
+        for (va, a), (vb, b) in zip(plain, runner_checked):
+            assert va == vb
+            assert a.verdict_non_neutral == b.verdict_non_neutral
+            assert a.path_congestion == b.path_congestion
+            assert a.observations == b.observations
+            for pid in a.emulation.measurements.path_ids:
+                np.testing.assert_array_equal(
+                    a.emulation.measurements.record(pid).sent,
+                    b.emulation.measurements.record(pid).sent,
+                )
+                np.testing.assert_array_equal(
+                    a.emulation.measurements.record(pid).lost,
+                    b.emulation.measurements.record(pid).lost,
+                )
+
+    def test_batched_cache_interchangeable_with_singles(self, tmp_path):
+        """A batched Table 2 sweep fills the same per-point cache
+        entries the unbatched sweep would hit."""
+        quick = EmulationSettings(
+            duration_seconds=15.0, warmup_seconds=2.0
+        )
+        cache = str(tmp_path / "cache")
+        run_full_set(6, quick, cache_dir=cache)  # batched fill
+        runner = SweepRunner.for_settings(
+            quick, cache_dir=cache, batch_size=1
+        )
+        runner.run(sweep_points([6], quick, derive_seeds=False))
+        assert runner.stats.cache_hits == 4
+        assert runner.stats.executed == 0

@@ -74,6 +74,101 @@ class TestMonitorFleet:
             )
             assert replay[name].change_points == outcome.change_points
 
+    def test_batched_fleet_matches_unbatched_exactly(self, tmp_path):
+        """Compatible tasks run as one scenario batch; every outcome
+        (scores, flags, change points, delays) must be bit-identical
+        to strictly per-task execution — which also keeps cached
+        outcomes interchangeable between the two modes."""
+        tasks = _tasks()
+        unbatched = MonitorFleet(base_seed=2, batch_size=1).run(tasks)
+        fleet = MonitorFleet(base_seed=2)
+        batched = fleet.run(tasks)
+        assert fleet.stats.batches == 1
+        assert fleet.stats.batched_points == len(tasks)
+        for name in unbatched:
+            a, b = unbatched[name], batched[name]
+            assert a.sigmas == b.sigmas
+            np.testing.assert_array_equal(a.window_ends, b.window_ends)
+            # assert_array_equal treats same-position NaNs as equal
+            # (uninformative windows score NaN in both modes).
+            np.testing.assert_array_equal(a.scores, b.scores)
+            np.testing.assert_array_equal(a.flagged, b.flagged)
+            assert a.change_points == b.change_points
+            assert a.final_identified == b.final_identified
+            assert a.final_neutral == b.final_neutral
+            assert (
+                a.detection_delay_intervals
+                == b.detection_delay_intervals
+            )
+            assert a.num_intervals == b.num_intervals
+
+        # A batched fleet's cache replays into an unbatched fleet.
+        caching = MonitorFleet(base_seed=2, cache_dir=str(tmp_path))
+        caching.run(tasks)
+        replay = MonitorFleet(
+            base_seed=2, cache_dir=str(tmp_path), batch_size=1
+        )
+        replay.run(tasks)
+        assert replay.stats.cache_hits == len(tasks)
+        assert replay.stats.executed == 0
+
+    def test_out_of_range_switch_fails_same_batched_or_not(self):
+        """Review regression: an onset beyond the stream end must
+        raise the same ConfigurationError whether the task runs
+        singly or inside a scenario batch (the batched executor
+        validates switch bounds like EmulationStream does)."""
+        policed = Scenario(
+            name="p",
+            topology="dumbbell",
+            policy=DifferentiationPolicy(mechanism="policing"),
+            settings=QUICK,
+        )
+        bad = MonitorTask(
+            name="late-onset",
+            scenario=policed,
+            chunk_intervals=25,
+            window_intervals=75,
+            onset_interval=10_000,  # stream is 150 intervals long
+        )
+        ok = _tasks()[0]
+        with pytest.raises(ConfigurationError):
+            MonitorFleet(base_seed=2, batch_size=1).run([ok, bad])
+        with pytest.raises(ConfigurationError):
+            MonitorFleet(base_seed=2).run([ok, bad])
+
+    def test_baked_seed_does_not_split_groups(self):
+        """Review regression: the per-task emulation seed is derived
+        from the task name, so tasks differing only in the scenario
+        settings' baked seed must still share one batch group."""
+        from dataclasses import replace
+
+        from repro.streaming.fleet import monitor_task_group
+
+        a, b = _tasks()
+        reseeded = MonitorTask(
+            name=b.name,
+            scenario=replace(
+                b.scenario, settings=b.scenario.settings.with_seed(99)
+            ),
+            chunk_intervals=b.chunk_intervals,
+            window_intervals=b.window_intervals,
+        )
+        assert monitor_task_group(a) == monitor_task_group(reseeded)
+
+    def test_incompatible_tasks_do_not_group(self):
+        """Different chunk cadence (or any scenario knob) splits the
+        batch group — those tasks run singly."""
+        base, other = _tasks()
+        other = MonitorTask(
+            name=other.name,
+            scenario=other.scenario,
+            chunk_intervals=50,
+            window_intervals=75,
+        )
+        fleet = MonitorFleet(base_seed=2)
+        fleet.run([base, other])
+        assert fleet.stats.batches == 0
+
     def test_task_validation(self):
         neutral = Scenario(name="n", topology="dumbbell", settings=QUICK)
         with pytest.raises(ConfigurationError):

@@ -37,6 +37,7 @@ from repro.core.performance import NetworkPerformance
 from repro.core.slices import (
     SliceSystem,
     batch_unsolvability,
+    batch_unsolvability_arrays,
     build_slice_batch,
 )
 
@@ -189,13 +190,17 @@ def identify_from_scores(
     scores: Mapping[LinkSeq, float],
     decider: Optional[Decider] = None,
     prune_redundant: bool = True,
+    include_systems: bool = True,
 ) -> AlgorithmResult:
     """Lines 13+ of Algorithm 1: decide and prune from scores.
 
     Shared tail of :func:`identify_non_neutral` and the runner's
     array route (:func:`repro.experiments.runner.
     infer_from_measurements`), which computes the scores without a
-    pathset dict round-trip.
+    pathset dict round-trip. With ``include_systems=False`` the
+    result's ``systems`` dict is left empty — the verdict needs only
+    the scores, and materializing thousands of System 4 objects
+    dominates memory at ≥5k paths.
     """
     if decider is None:
         from repro.measurement.clustering import cluster_decider
@@ -219,7 +224,7 @@ def identify_from_scores(
         neutral=neutral,
         skipped=tuple(skipped),
         scores=dict(scores),
-        systems=batch.systems_dict(),
+        systems=batch.systems_dict() if include_systems else {},
     )
 
 
@@ -236,26 +241,41 @@ def identify_non_neutral_exact(
     and misses exactly the non-identifiable violations.
     """
     from repro.core.equivalent import build_equivalent  # local: avoid cycle
+    from repro.core.linear import is_solvable
 
     net = perf.network
     batch, skipped = build_slice_batch(net, min_pathsets)
-    # One equivalent-network build serves every pathset (the naive
-    # form rebuilt it per observation).
+    # One equivalent-network build serves every pathset, and all
+    # pathset costs come from one membership-matrix evaluation (the
+    # naive form walked every virtual link per pathset).
     equivalent = build_equivalent(perf)
-    observations: Dict[PathSet, float] = {}
-    for system in batch.systems:
-        for ps in system.family:
-            if ps not in observations:
-                observations[ps] = equivalent.pathset_performance(ps)
-    score_array = batch_unsolvability(batch, observations)
+    y_single, y_pair_flat = equivalent.batch_pathset_costs(
+        batch.index.path_ids, batch.pair_a, batch.pair_b
+    )
+    score_array = batch_unsolvability_arrays(
+        batch, y_single, y_pair_flat
+    )
     scores: Dict[LinkSeq, float] = {
         sigma: float(score)
         for sigma, score in zip(batch.sigmas, score_array)
     }
     identified_raw: List[LinkSeq] = []
     neutral: List[LinkSeq] = []
-    for sigma, system in zip(batch.sigmas, batch.systems):
-        if system.is_solvable_exact(observations, tol=tol):
+    for g, (sigma, system) in enumerate(zip(batch.sigmas, batch.systems)):
+        # The system's observation vector in family order: member
+        # singletons, then pairs — sliced straight from the flat
+        # batch arrays.
+        y = np.concatenate(
+            (
+                y_single[
+                    batch.member_rows[
+                        batch.member_offsets[g]:batch.member_offsets[g + 1]
+                    ]
+                ],
+                y_pair_flat[batch.offsets[g]:batch.offsets[g + 1]],
+            )
+        )
+        if is_solvable(system.matrix, y, tol=tol):
             neutral.append(sigma)
         else:
             identified_raw.append(sigma)

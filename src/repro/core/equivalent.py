@@ -173,6 +173,58 @@ class EquivalentNeutralNetwork:
             dtype=float,
         )
 
+    def membership_matrix(self, path_ids: Tuple[str, ...]) -> np.ndarray:
+        """Boolean ``(n_virtual, len(path_ids))`` traversal matrix.
+
+        Row ``v`` marks the paths traversing virtual link
+        ``virtual_link_ids[v]`` — the batched form of the per-pathset
+        ``vl.paths & ps`` tests. Paths outside ``path_ids`` are
+        ignored.
+        """
+        pos = {pid: i for i, pid in enumerate(path_ids)}
+        matrix = np.zeros(
+            (len(self._virtual), len(path_ids)), dtype=bool
+        )
+        for v, vid in enumerate(self.virtual_link_ids):
+            for pid in self._virtual[vid].paths:
+                i = pos.get(pid)
+                if i is not None:
+                    matrix[v, i] = True
+        return matrix
+
+    def batch_pathset_costs(
+        self,
+        path_ids: Tuple[str, ...],
+        pair_a: np.ndarray,
+        pair_b: np.ndarray,
+        block_pairs: int = 1 << 15,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact costs of all singletons and the given pairs at once.
+
+        The vectorized form of :meth:`pathset_performance` used by
+        exact-mode Algorithm 1: singleton costs are one matrix-vector
+        product ``x+ · M``, and each pair's cost is
+        ``y_a + y_b − x+ · (M_a ∧ M_b)`` (links touched by both paths
+        are counted once) — evaluated in blocks so the gathered
+        membership columns stay bounded.
+
+        Returns:
+            ``(y_single, y_pair)`` with ``y_single`` aligned to
+            ``path_ids`` and ``y_pair`` to ``pair_a``/``pair_b``
+            (positions into ``path_ids``).
+        """
+        membership = self.membership_matrix(path_ids)
+        costs = self.cost_vector()
+        y_single = costs @ membership
+        common = np.empty(pair_a.size, dtype=float)
+        for lo in range(0, int(pair_a.size), block_pairs):
+            hi = min(lo + block_pairs, int(pair_a.size))
+            common[lo:hi] = costs @ (
+                membership[:, pair_a[lo:hi]]
+                & membership[:, pair_b[lo:hi]]
+            )
+        return y_single, y_single[pair_a] + y_single[pair_b] - common
+
 
 def build_equivalent(
     perf: NetworkPerformance,

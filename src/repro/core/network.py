@@ -22,6 +22,7 @@ constructions mirror the paper's figures verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,6 +48,21 @@ def make_linkseq(links: Iterable[str]) -> LinkSeq:
     containing the same links compare equal.
     """
     return tuple(sorted(set(links)))
+
+
+def pack_bool_rows(rows: np.ndarray) -> np.ndarray:
+    """Bit-pack a boolean matrix row-wise into ``(n, W)`` uint64 words.
+
+    The canonical packing used across the inference layer (big-endian
+    bit order within bytes, zero-padded to whole words): two packings
+    of the same rows are bitwise comparable, and the word-wise AND of
+    two packed rows equals the packing of the boolean AND.
+    """
+    packed = np.packbits(np.ascontiguousarray(rows), axis=1)
+    pad = (-packed.shape[1]) % 8
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    return packed.view(np.uint64)
 
 
 class NodeKind:
@@ -154,6 +170,36 @@ class PathIndex:
     @property
     def num_links(self) -> int:
         return len(self.link_ids)
+
+    @cached_property
+    def packed(self) -> np.ndarray:
+        """Bit-packed incidence rows: ``(|P|, W)`` uint64 words.
+
+        ``packed[i] & packed[j]`` is the packed shared sequence of the
+        pair ``(i, j)`` — the sparse grouping's signature, 64 links
+        per word instead of one bool per link.
+        """
+        words = pack_bool_rows(self.incidence)
+        words.setflags(write=False)
+        return words
+
+    @cached_property
+    def link_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR columns of the incidence: ``(indptr, path_rows)``.
+
+        ``path_rows[indptr[k]:indptr[k + 1]]`` are the (ascending)
+        rows of the paths through link ``k`` — the paper's
+        ``Paths(l_k)`` in index form. The sparse pair pass enumerates
+        candidate sharing pairs per column instead of over the dense
+        ``P²`` triangle.
+        """
+        cols, rows = np.nonzero(self.incidence.T)
+        indptr = np.searchsorted(
+            cols, np.arange(self.num_links + 1), side="left"
+        ).astype(np.intp)
+        rows = rows.astype(np.intp)
+        rows.setflags(write=False)
+        return indptr, rows
 
     def rows(self, path_ids: Iterable[str]) -> np.ndarray:
         """Row indices of the given paths, in argument order.
@@ -417,6 +463,56 @@ class Network:
         links = [self._links[lid] for lid in sorted(used_links)]
         return Network(links, paths)
 
+    def with_paths(self, paths: Iterable[Path]) -> "Network":
+        """A new network with additional measured paths.
+
+        The incremental vantage-point operation (DESIGN.md S20): the
+        link universe is unchanged (every new path must traverse
+        existing links), and when this network's :class:`PathIndex` /
+        memoized pair groups have been built they are *patched* —
+        row insertion plus grouping of only the new pairs — instead
+        of rebuilt from scratch. The patched structures are equal to
+        a cold rebuild (property-tested).
+
+        Raises:
+            UnknownLinkError: If a new path uses an unknown link.
+            ModelError: On a duplicate path id.
+        """
+        added = list(paths)
+        net = Network(
+            self._links.values(),
+            list(self._paths.values()) + added,
+            self._nodes.values(),
+        )
+        if added and self._path_index is not None:
+            from repro.core.slices import patch_network_add  # local: avoid cycle
+
+            patch_network_add(self, net, [p.id for p in added])
+        return net
+
+    def without_paths(self, path_ids: Iterable[str]) -> "Network":
+        """A new network with the given measured paths removed.
+
+        Unlike :meth:`restricted_to_paths` the link universe is kept
+        (a departing vantage point does not decommission links), so
+        the cached :class:`PathIndex` and memoized pair groups are
+        patched by row deletion instead of rebuilt.
+
+        Raises:
+            UnknownPathError: On an id that is not a path.
+        """
+        drop = set(path_ids)
+        for pid in drop:
+            if pid not in self._paths:
+                raise UnknownPathError(pid)
+        kept = [p for pid, p in self._paths.items() if pid not in drop]
+        net = Network(self._links.values(), kept, self._nodes.values())
+        if drop and self._path_index is not None:
+            from repro.core.slices import patch_network_remove  # local: avoid cycle
+
+            patch_network_remove(self, net, drop)
+        return net
+
     def __getstate__(self) -> Dict[str, object]:
         """Drop derived caches when pickling (sweep results embed the
         inference network; the index and slice batches are cheap to
@@ -425,6 +521,23 @@ class Network:
         state["_path_index"] = None
         state["_inference_cache"] = {}
         return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore from a pickle with the derived caches hard-reset.
+
+        :meth:`__getstate__` already drops them, but a cache entry
+        can survive the round-trip through *other* references (an
+        older pickle, a state dict assembled elsewhere, a copy
+        protocol that bypasses ``__getstate__``). A stale
+        ``PathIndex`` silently desynchronizes every memoized artifact
+        keyed on it, so restoration never trusts the incoming state —
+        and the consumers in :mod:`repro.core.slices` additionally
+        verify ``cached.index is net.path_index`` before serving a
+        memoized structure.
+        """
+        self.__dict__.update(state)
+        self.__dict__["_path_index"] = None
+        self.__dict__["_inference_cache"] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

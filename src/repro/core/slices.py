@@ -19,29 +19,63 @@ non-neutral (Lemma 2). The spread of the per-pair estimates is the
 *unsolvability score* the practical algorithm clusters on (§6.2).
 
 Since the indexed rewrite (DESIGN.md S17) the hot path is batched
-numpy over the :class:`~repro.core.network.PathIndex` registry: all
-path pairs are grouped by shared-link signature with incidence-row
-ANDs and row hashing (:func:`shared_sequences`,
-:func:`build_slice_batch`), and all candidate systems are scored at
-once with one flat ``y_a + y_b − y_ab`` gather
-(:func:`batch_unsolvability`). The pre-rewrite per-pair/per-dict
-implementation is frozen in :mod:`repro.core.algorithm_reference`.
+numpy over the :class:`~repro.core.network.PathIndex` registry; since
+the sparse rewrite (DESIGN.md S20) the candidate pairs are enumerated
+per incidence *column* (``Paths(l)`` CSR) instead of over the dense
+``P²`` triangle, and signatures are the bit-packed uint64 row ANDs —
+the dense pass survives as ``method="dense"`` for differential
+testing, and both produce structurally identical
+:class:`_PairGroups`. All candidate systems are scored at once with
+one flat ``y_a + y_b − y_ab`` gather (:func:`batch_unsolvability`);
+:class:`SliceSystemBatch` materializes its per-σ :class:`SliceSystem`
+objects lazily so the ≥5k-path runs never build them. The pre-rewrite
+per-pair/per-dict implementation is frozen in
+:mod:`repro.core.algorithm_reference`.
+
+Incrementality (DESIGN.md S20): :func:`patch_network_add` /
+:func:`patch_network_remove` transplant a network's cached
+:class:`~repro.core.network.PathIndex` and memoized pair groups onto
+a path-added/removed copy by row patching — called from
+:meth:`Network.with_paths` / :meth:`Network.without_paths`, and
+property-tested equal to a cold rebuild.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.core.linear import is_solvable
-from repro.core.network import LinkSeq, Network, PathIndex, make_linkseq
+from repro.core.network import (
+    LinkSeq,
+    Network,
+    PathIndex,
+    make_linkseq,
+    pack_bool_rows,
+)
 from repro.core.pathsets import PathSet, PathSetFamily
 from repro.exceptions import SliceError
 
 #: Column label of the logical link for σ in System 4.
 SIGMA_COLUMN = "<sigma>"
+
+#: Valid pair-grouping methods. ``auto`` resolves to ``sparse``; the
+#: dense pass is kept for the differential test harness.
+PAIR_METHODS = ("auto", "dense", "sparse")
 
 
 @dataclass(frozen=True)
@@ -54,7 +88,7 @@ class SliceSystem:
         pairs: The path pairs of ``Φ_σ``, ordered.
         family: The full ordered pathset family: one singleton per
             path in ``paths``, then one pair pathset per entry of
-            ``pairs`` — the rows of :attr:`matrix`.
+            :attr:`pairs` — the rows of :attr:`matrix`.
         matrix: ``A_σ(Φ_σ)`` over the logical links.
         columns: Column labels: :data:`SIGMA_COLUMN` first, then the
             ids of paths with non-empty remainder ``ρ_i``.
@@ -136,17 +170,23 @@ class _PairGroups:
     """σ-sorted grouping of all sharing path pairs (memoized per net).
 
     Attributes:
+        index: The registry the rows refer to. Consumers validate
+            ``groups.index is net.path_index`` before serving this
+            from the memo cache, so a stale entry (e.g. planted
+            through the pickle protocol) can never desynchronize.
         sigmas: All shared sequences, sorted.
         sigma_masks: ``(n_sigmas, |L|)`` boolean link masks, aligned.
         pair_a / pair_b: Flat path-row arrays of every sharing pair,
             grouped by sequence; within a group pairs keep the
             row-major ``(i < j)`` enumeration order of
-            :meth:`Network.path_pairs`.
+            :meth:`Network.path_pairs` — equivalently, ascending
+            ``a·|P| + b`` key order.
         offsets: ``(n_sigmas + 1,)`` group boundaries into the flat
             pair arrays.
         group_of: ``{σ: group position}``.
     """
 
+    index: PathIndex
     sigmas: Tuple[LinkSeq, ...]
     sigma_masks: np.ndarray
     pair_a: np.ndarray
@@ -159,22 +199,19 @@ class _PairGroups:
         return self.pair_a[lo:hi], self.pair_b[lo:hi]
 
 
-def _pair_groups(net: Network) -> _PairGroups:
-    """Lines 2–8 of Algorithm 1, batched over the incidence matrix.
+def _resolve_method(method: str) -> str:
+    """Resolve a pair-grouping method name (``auto`` → ``sparse``)."""
+    if method not in PAIR_METHODS:
+        raise SliceError(
+            f"unknown pair-grouping method {method!r}; "
+            f"expected one of {PAIR_METHODS}"
+        )
+    return "sparse" if method == "auto" else method
 
-    All unordered path pairs are formed at once (``triu`` indices),
-    their shared sequences computed as incidence-row ANDs, and the
-    pairs grouped by signature via bit-packed row hashing — no
-    per-pair ``frozenset`` intersection. Memoized on the (immutable)
-    network.
-    """
-    cached = net._inference_cache.get("pair_groups")
-    if cached is not None:
-        return cached
 
-    index = net.path_index
-    num_paths = index.num_paths
-    empty = _PairGroups(
+def _empty_groups(index: PathIndex) -> _PairGroups:
+    return _PairGroups(
+        index=index,
         sigmas=(),
         sigma_masks=np.zeros((0, index.num_links), dtype=bool),
         pair_a=np.zeros(0, dtype=np.intp),
@@ -182,26 +219,29 @@ def _pair_groups(net: Network) -> _PairGroups:
         offsets=np.zeros(1, dtype=np.intp),
         group_of={},
     )
-    if num_paths < 2 or index.num_links == 0:
-        net._inference_cache["pair_groups"] = empty
-        return empty
 
-    ia, ib = np.triu_indices(num_paths, k=1)
-    shared = index.incidence[ia] & index.incidence[ib]
-    nonempty = shared.any(axis=1)
-    if not nonempty.any():
-        net._inference_cache["pair_groups"] = empty
-        return empty
-    ia, ib, shared = ia[nonempty], ib[nonempty], shared[nonempty]
 
-    # Hash each pair's shared-link row into packed uint64 words and
-    # group equal signatures with one lexsort (much faster than
-    # comparison-sorting raw byte rows).
-    packed = np.packbits(shared, axis=1)
-    pad = (-packed.shape[1]) % 8
-    if pad:
-        packed = np.pad(packed, ((0, 0), (0, pad)))
-    words = packed.view(np.uint64)
+def _finalize_groups(
+    index: PathIndex,
+    ia: np.ndarray,
+    ib: np.ndarray,
+    words: np.ndarray,
+    masks_for: Callable[[np.ndarray], np.ndarray],
+) -> _PairGroups:
+    """Group candidate pairs by signature and sort groups by σ.
+
+    ``ia``/``ib`` are the candidate pair rows in row-major order, and
+    ``words`` the ``(n_pairs, W)`` bit-packed shared-link signatures
+    (every candidate must share ≥ 1 link). ``masks_for`` maps
+    positions into the candidate arrays to the boolean shared-link
+    rows of those pairs — a callable so the sparse pass never builds
+    the full ``(n_pairs, |L|)`` matrix.
+
+    Equal signatures are grouped with one lexsort over the words
+    (much faster than comparison-sorting raw byte rows), groups are
+    reordered by canonical sequence order, and the row-major pair
+    order within each group is kept (stable sort on group rank).
+    """
     order = np.lexsort(words.T[::-1])
     sorted_words = words[order]
     new_group = np.empty(order.size, dtype=bool)
@@ -211,11 +251,9 @@ def _pair_groups(net: Network) -> _PairGroups:
     inverse = np.empty(order.size, dtype=np.intp)
     inverse[order] = group_id_sorted
     representatives = order[new_group]
-    masks = shared[representatives]
+    masks = masks_for(representatives)
     sigmas = [index.linkseq_from_mask(mask) for mask in masks]
 
-    # Reorder groups by canonical sequence order; keep row-major pair
-    # order within each group (stable sort on group id).
     sigma_order = sorted(range(len(sigmas)), key=lambda g: sigmas[g])
     rank = np.empty(len(sigmas), dtype=np.intp)
     rank[sigma_order] = np.arange(len(sigmas))
@@ -225,7 +263,8 @@ def _pair_groups(net: Network) -> _PairGroups:
         [np.zeros(1, dtype=np.intp), np.cumsum(counts, dtype=np.intp)]
     )
     sorted_sigmas = tuple(sigmas[g] for g in sigma_order)
-    groups = _PairGroups(
+    return _PairGroups(
+        index=index,
         sigmas=sorted_sigmas,
         sigma_masks=masks[sigma_order],
         pair_a=ia[by_group],
@@ -233,24 +272,115 @@ def _pair_groups(net: Network) -> _PairGroups:
         offsets=offsets,
         group_of={s: g for g, s in enumerate(sorted_sigmas)},
     )
-    net._inference_cache["pair_groups"] = groups
+
+
+def _dense_sharing_pairs(net: Network) -> Optional[_PairGroups]:
+    """Dense pair pass: all ``triu`` pairs, full shared-row matrix."""
+    index = net.path_index
+    ia, ib = np.triu_indices(index.num_paths, k=1)
+    shared = index.incidence[ia] & index.incidence[ib]
+    nonempty = shared.any(axis=1)
+    if not nonempty.any():
+        return None
+    ia, ib, shared = ia[nonempty], ib[nonempty], shared[nonempty]
+    words = pack_bool_rows(shared)
+    return _finalize_groups(
+        index, ia, ib, words, lambda reps: shared[reps]
+    )
+
+
+def _sparse_sharing_pairs(net: Network) -> Optional[_PairGroups]:
+    """Sparse pair pass: candidates per incidence column.
+
+    A pair shares a link iff it appears in some column of the
+    incidence matrix, so the candidates are the within-column pair
+    sets of ``Paths(l)`` (CSR form) — ``Σ_l C(|Paths(l)|, 2)`` keys
+    instead of ``C(P, 2)``. Pairs sharing several links appear once
+    per shared link; ``np.unique`` over the scalar ``a·|P| + b`` keys
+    dedups them *and* yields row-major order. Signatures are the
+    word-wise ANDs of the bit-packed incidence rows — identical to
+    the dense pass's packing of the boolean row AND, so both methods
+    group identically.
+    """
+    index = net.path_index
+    indptr, rows = index.link_csr
+    num_paths = index.num_paths
+    tri_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    key_parts: List[np.ndarray] = []
+    for k in range(index.num_links):
+        col = rows[indptr[k]:indptr[k + 1]]
+        size = int(col.size)
+        if size < 2:
+            continue
+        tri = tri_cache.get(size)
+        if tri is None:
+            tri = np.triu_indices(size, k=1)
+            tri_cache[size] = tri
+        key_parts.append(
+            col[tri[0]].astype(np.int64) * num_paths + col[tri[1]]
+        )
+    if not key_parts:
+        return None
+    keys = np.unique(np.concatenate(key_parts))
+    ia = (keys // num_paths).astype(np.intp)
+    ib = (keys % num_paths).astype(np.intp)
+    packed = index.packed
+    words = packed[ia] & packed[ib]
+    incidence = index.incidence
+    return _finalize_groups(
+        index,
+        ia,
+        ib,
+        words,
+        lambda reps: incidence[ia[reps]] & incidence[ib[reps]],
+    )
+
+
+def _pair_groups(net: Network, method: str = "auto") -> _PairGroups:
+    """Lines 2–8 of Algorithm 1, batched over the path registry.
+
+    All sharing path pairs are enumerated (dense ``triu`` pass or
+    sparse per-column pass, see :data:`PAIR_METHODS`), their shared
+    sequences grouped by bit-packed signature. Memoized on the
+    network per resolved method; a memo entry is served only when its
+    registry is still the network's current one.
+    """
+    resolved = _resolve_method(method)
+    cache_key = ("pair_groups", resolved)
+    cached = net._inference_cache.get(cache_key)
+    if cached is not None and cached.index is net.path_index:
+        return cached
+
+    index = net.path_index
+    if index.num_paths < 2 or index.num_links == 0:
+        groups = _empty_groups(index)
+    else:
+        build = (
+            _dense_sharing_pairs
+            if resolved == "dense"
+            else _sparse_sharing_pairs
+        )
+        groups = build(net) or _empty_groups(index)
+    net._inference_cache[cache_key] = groups
     return groups
 
 
-def shared_sequences(net: Network) -> Dict[LinkSeq, List[Tuple[str, str]]]:
+def shared_sequences(
+    net: Network, method: str = "auto"
+) -> Dict[LinkSeq, List[Tuple[str, str]]]:
     """Group all path pairs by their shared link sequence.
 
     This is lines 2–8 of Algorithm 1: for every unordered path pair,
     compute ``σ = Links(p_i) ∩ Links(p_j)`` and bucket the pair under
     σ. Pairs sharing no link (σ empty) are dropped — they say nothing
     about any sequence. Computed in one batched pass over the
-    incidence matrix (see :func:`_pair_groups`).
+    path registry (see :func:`_pair_groups`).
 
     Returns:
         ``{σ: [pairs]}`` in sorted-σ order, with deterministic
         (row-major) pair order within each bucket.
     """
-    groups = _pair_groups(net)
+    groups = _pair_groups(net, method)
     path_ids = net.path_index.path_ids
     out: Dict[LinkSeq, List[Tuple[str, str]]] = {}
     for g, sigma in enumerate(groups.sigmas):
@@ -262,9 +392,11 @@ def shared_sequences(net: Network) -> Dict[LinkSeq, List[Tuple[str, str]]]:
     return out
 
 
-def pairs_for_sequence(net: Network, sigma: LinkSeq) -> List[Tuple[str, str]]:
+def pairs_for_sequence(
+    net: Network, sigma: LinkSeq, method: str = "auto"
+) -> List[Tuple[str, str]]:
     """All path pairs whose shared links are exactly σ."""
-    groups = _pair_groups(net)
+    groups = _pair_groups(net, method)
     g = groups.group_of.get(make_linkseq(sigma))
     if g is None:
         return []
@@ -372,21 +504,26 @@ def build_slice_system(
 
 
 def _singleton_pathsets(net: Network) -> Tuple[PathSet, ...]:
-    """Singleton pathsets aligned with the path index (memoized)."""
+    """Singleton pathsets aligned with the path index (memoized).
+
+    The memo entry records the registry it was built against and is
+    bypassed when the registry changed (stale-cache hole, see
+    :meth:`Network.__setstate__`).
+    """
+    index = net.path_index
     cached = net._inference_cache.get("singleton_pathsets")
-    if cached is None:
-        cached = tuple(
-            frozenset([pid]) for pid in net.path_index.path_ids
-        )
-        net._inference_cache["singleton_pathsets"] = cached
-    return cached
+    if cached is not None and cached[0] is index:
+        return cached[1]
+    singles = tuple(frozenset([pid]) for pid in index.path_ids)
+    net._inference_cache["singleton_pathsets"] = (index, singles)
+    return singles
 
 
 @dataclass(frozen=True)
 class SliceSystemBatch:
     """All candidate System 4s of a network, in flat array form.
 
-    Built once per network and ``min_pathsets`` by
+    Built once per network, ``min_pathsets`` and method by
     :func:`build_slice_batch` and consumed by the batched scoring
     (:func:`batch_unsolvability`) and the batched normalization
     (:func:`repro.measurement.normalize.batch_slice_observations`):
@@ -394,26 +531,39 @@ class SliceSystemBatch:
     system lives in one flat ``(n_pairs,)`` index array, with
     ``offsets`` marking system boundaries.
 
+    The per-σ :class:`SliceSystem` objects (matrices, pathset
+    families) are materialized *lazily* on first :attr:`systems`
+    access — the flat arrays alone carry the records→verdict hot
+    path, and at ≥5k paths the eager objects would dominate memory.
+
     Attributes:
         index: The path/link registry.
         sigmas: Candidate sequences, sorted (σ-sorted system order).
-        systems: The :class:`SliceSystem` per sequence, aligned.
+        sigma_masks: ``(n_systems, |L|)`` boolean link masks, aligned.
         pair_a / pair_b: Flat path-row arrays of all systems' pairs.
         offsets: ``(n_systems + 1,)`` boundaries into the pair arrays.
+        la / lb: Flat per-pair *local* member positions (within the
+            owning system's ``member_rows`` segment), aligned with
+            ``pair_a``/``pair_b``.
         member_rows: Flat member-path rows of all systems (each
             system's slice sorted ascending — its ``P_σ``).
         member_offsets: ``(n_systems + 1,)`` boundaries into
             ``member_rows``.
+        singletons: Singleton pathsets aligned with the registry rows
+            (shared with :func:`_singleton_pathsets`).
     """
 
     index: PathIndex
     sigmas: Tuple[LinkSeq, ...]
-    systems: Tuple[SliceSystem, ...]
+    sigma_masks: np.ndarray
     pair_a: np.ndarray
     pair_b: np.ndarray
     offsets: np.ndarray
+    la: np.ndarray
+    lb: np.ndarray
     member_rows: np.ndarray
     member_offsets: np.ndarray
+    singletons: Tuple[PathSet, ...]
 
     @property
     def num_systems(self) -> int:
@@ -422,6 +572,34 @@ class SliceSystemBatch:
     @property
     def num_pairs(self) -> int:
         return int(self.pair_a.size)
+
+    @cached_property
+    def systems(self) -> Tuple[SliceSystem, ...]:
+        """The :class:`SliceSystem` per sequence, aligned with
+        :attr:`sigmas` (materialized on first access, then cached)."""
+        path_ids = self.index.path_ids
+        systems: List[SliceSystem] = []
+        for g, sigma in enumerate(self.sigmas):
+            lo, hi = self.offsets[g], self.offsets[g + 1]
+            mlo, mhi = self.member_offsets[g], self.member_offsets[g + 1]
+            ga, gb = self.pair_a[lo:hi], self.pair_b[lo:hi]
+            pair_list = [
+                (path_ids[i], path_ids[j])
+                for i, j in zip(ga.tolist(), gb.tolist())
+            ]
+            systems.append(
+                _make_system(
+                    self.index,
+                    sigma,
+                    self.sigma_masks[g],
+                    self.member_rows[mlo:mhi],
+                    self.la[lo:hi],
+                    self.lb[lo:hi],
+                    pair_list,
+                    self.singletons,
+                )
+            )
+        return tuple(systems)
 
     def systems_dict(self) -> Dict[LinkSeq, SliceSystem]:
         """``{σ: system}`` in σ-sorted insertion order."""
@@ -434,28 +612,29 @@ class SliceSystemBatch:
 
 
 def build_slice_batch(
-    net: Network, min_pathsets: int
+    net: Network, min_pathsets: int, method: str = "auto"
 ) -> Tuple[SliceSystemBatch, Tuple[LinkSeq, ...]]:
     """Lines 2–12 of Algorithm 1, batched.
 
-    Groups all path pairs by shared sequence (one incidence-matrix
-    pass), drops sequences below the pathset threshold, and builds
-    every surviving System 4. Memoized on the network per
-    ``min_pathsets``.
+    Groups all path pairs by shared sequence (one sparse or dense
+    registry pass), drops sequences below the pathset threshold, and
+    lays out every surviving System 4 in flat arrays (objects
+    materialize lazily). Memoized on the network per ``min_pathsets``
+    and resolved method; served only while the memo's registry is the
+    network's current one.
 
     Returns:
         ``(batch, skipped)`` — the candidate systems and the
         sequences with too few pathsets (non-identifiable).
     """
-    cache_key = ("slice_batch", int(min_pathsets))
+    resolved = _resolve_method(method)
+    cache_key = ("slice_batch", int(min_pathsets), resolved)
     cached = net._inference_cache.get(cache_key)
-    if cached is not None:
+    if cached is not None and cached[0].index is net.path_index:
         return cached
 
-    groups = _pair_groups(net)
+    groups = _pair_groups(net, resolved)
     index = net.path_index
-    path_ids = index.path_ids
-    singletons = _singleton_pathsets(net)
     num_groups = len(groups.sigmas)
     total_pairs = int(groups.pair_a.size)
 
@@ -494,32 +673,17 @@ def build_slice_batch(
 
     kept: List[int] = []
     kept_sigmas: List[LinkSeq] = []
-    kept_systems: List[SliceSystem] = []
     skipped: List[LinkSeq] = []
     for g, sigma in enumerate(groups.sigmas):
-        lo, hi = groups.offsets[g], groups.offsets[g + 1]
-        mlo, mhi = all_member_offsets[g], all_member_offsets[g + 1]
-        if (mhi - mlo) + (hi - lo) < min_pathsets:
-            skipped.append(sigma)
-            continue
-        ga, gb = groups.pair_a[lo:hi], groups.pair_b[lo:hi]
-        pair_list = [
-            (path_ids[i], path_ids[j])
-            for i, j in zip(ga.tolist(), gb.tolist())
-        ]
-        system = _make_system(
-            index,
-            sigma,
-            groups.sigma_masks[g],
-            all_member_rows[mlo:mhi],
-            la_all[lo:hi],
-            lb_all[lo:hi],
-            pair_list,
-            singletons,
+        num_pairs = int(groups.offsets[g + 1] - groups.offsets[g])
+        num_members = int(
+            all_member_offsets[g + 1] - all_member_offsets[g]
         )
-        kept.append(g)
-        kept_sigmas.append(sigma)
-        kept_systems.append(system)
+        if num_members + num_pairs < min_pathsets:
+            skipped.append(sigma)
+        else:
+            kept.append(g)
+            kept_sigmas.append(sigma)
 
     def _concat_segments(flat, offs):
         if not kept:
@@ -535,22 +699,302 @@ def build_slice_batch(
 
     pair_a, offsets = _concat_segments(groups.pair_a, groups.offsets)
     pair_b, _ = _concat_segments(groups.pair_b, groups.offsets)
+    la, _ = _concat_segments(la_all, groups.offsets)
+    lb, _ = _concat_segments(lb_all, groups.offsets)
     member_rows, member_offsets = _concat_segments(
         all_member_rows, all_member_offsets
+    )
+    sigma_masks = (
+        groups.sigma_masks[kept]
+        if kept
+        else np.zeros((0, index.num_links), dtype=bool)
     )
     batch = SliceSystemBatch(
         index=index,
         sigmas=tuple(kept_sigmas),
-        systems=tuple(kept_systems),
+        sigma_masks=sigma_masks,
         pair_a=pair_a,
         pair_b=pair_b,
         offsets=offsets,
+        la=la,
+        lb=lb,
         member_rows=member_rows,
         member_offsets=member_offsets,
+        singletons=_singleton_pathsets(net),
     )
     result = (batch, tuple(skipped))
     net._inference_cache[cache_key] = result
     return result
+
+
+# ----------------------------------------------------------------------
+# Incremental registry patching (DESIGN.md S20)
+# ----------------------------------------------------------------------
+
+
+def _patched_index_add(
+    old: PathIndex, new_net: Network, added_ids: Sequence[str]
+) -> PathIndex:
+    """The new network's registry by row insertion into ``old``.
+
+    The link universe is unchanged (:meth:`Network.with_paths`
+    contract), and path rows stay id-sorted, so the old rows map
+    monotonically into the new matrix.
+    """
+    path_ids = new_net.path_ids
+    path_pos = {pid: i for i, pid in enumerate(path_ids)}
+    incidence = np.zeros((len(path_ids), old.num_links), dtype=bool)
+    old_rows = np.array(
+        [path_pos[pid] for pid in old.path_ids], dtype=np.intp
+    )
+    incidence[old_rows] = old.incidence
+    for pid in added_ids:
+        row = incidence[path_pos[pid]]
+        for lid in new_net.links_of(pid):
+            row[old.link_pos[lid]] = True
+    incidence.setflags(write=False)
+    return PathIndex(
+        path_ids=path_ids,
+        link_ids=old.link_ids,
+        incidence=incidence,
+        path_pos=path_pos,
+        link_pos=old.link_pos,
+    )
+
+
+def _patched_index_remove(
+    old: PathIndex, dropped: Set[str]
+) -> PathIndex:
+    """The new network's registry by row deletion from ``old``."""
+    keep = np.array(
+        [pid not in dropped for pid in old.path_ids], dtype=bool
+    )
+    path_ids = tuple(
+        pid for pid in old.path_ids if pid not in dropped
+    )
+    incidence = old.incidence[keep]
+    incidence.setflags(write=False)
+    return PathIndex(
+        path_ids=path_ids,
+        link_ids=old.link_ids,
+        incidence=incidence,
+        path_pos={pid: i for i, pid in enumerate(path_ids)},
+        link_pos=old.link_pos,
+    )
+
+
+def _merge_pair_groups(
+    index: PathIndex,
+    old_remap: np.ndarray,
+    old_groups: _PairGroups,
+    new_groups: _PairGroups,
+) -> _PairGroups:
+    """Merge remapped old pair groups with the new-pair groups.
+
+    ``old_remap`` maps old registry rows to new rows (monotonic, so
+    ``a < b`` ordering and ascending-key order within a group are
+    both preserved). Old and new pair sets are disjoint (every new
+    pair involves an added row); a σ present in both gets its two
+    ascending-key segments merged back into ascending order.
+    """
+    num_paths = index.num_paths
+    merged_sigmas = sorted(
+        set(old_groups.sigmas) | set(new_groups.sigmas)
+    )
+    pa_parts: List[np.ndarray] = []
+    pb_parts: List[np.ndarray] = []
+    mask_rows: List[np.ndarray] = []
+    sizes: List[int] = []
+    for sigma in merged_sigmas:
+        og = old_groups.group_of.get(sigma)
+        ng = new_groups.group_of.get(sigma)
+        if og is not None:
+            oa, ob = old_groups.group(og)
+            oa, ob = old_remap[oa], old_remap[ob]
+        if ng is not None:
+            na, nb = new_groups.group(ng)
+        if og is not None and ng is not None:
+            pa = np.concatenate((oa, na))
+            pb = np.concatenate((ob, nb))
+            order = np.argsort(pa * num_paths + pb)
+            pa, pb = pa[order], pb[order]
+            mask = old_groups.sigma_masks[og]
+        elif og is not None:
+            pa, pb, mask = oa, ob, old_groups.sigma_masks[og]
+        else:
+            pa, pb, mask = na, nb, new_groups.sigma_masks[ng]
+        pa_parts.append(pa)
+        pb_parts.append(pb)
+        mask_rows.append(mask)
+        sizes.append(int(pa.size))
+    if not merged_sigmas:
+        return _empty_groups(index)
+    offsets = np.concatenate(
+        [
+            np.zeros(1, dtype=np.intp),
+            np.cumsum(np.array(sizes, dtype=np.intp)),
+        ]
+    )
+    sorted_sigmas = tuple(merged_sigmas)
+    return _PairGroups(
+        index=index,
+        sigmas=sorted_sigmas,
+        sigma_masks=np.stack(mask_rows),
+        pair_a=np.concatenate(pa_parts),
+        pair_b=np.concatenate(pb_parts),
+        offsets=offsets,
+        group_of={s: g for g, s in enumerate(sorted_sigmas)},
+    )
+
+
+def _cached_pair_group_keys(net: Network) -> List[Tuple[str, str]]:
+    return [
+        key
+        for key in net._inference_cache
+        if isinstance(key, tuple) and key and key[0] == "pair_groups"
+    ]
+
+
+def patch_network_add(
+    old_net: Network, new_net: Network, added_ids: Sequence[str]
+) -> None:
+    """Transplant patched caches onto a path-added network copy.
+
+    Called from :meth:`Network.with_paths` when ``old_net`` has a
+    built registry: the new registry is produced by row insertion,
+    and every valid memoized pair grouping is patched by grouping
+    *only* the pairs that involve an added row and merging them into
+    the remapped old groups — equal to a cold rebuild
+    (property-tested in ``tests/core/test_incremental_index.py``).
+    """
+    old_index = old_net._path_index
+    index = _patched_index_add(old_index, new_net, added_ids)
+    new_net._path_index = index
+
+    patched: Optional[_PairGroups] = None
+    for key in _cached_pair_group_keys(old_net):
+        cached = old_net._inference_cache[key]
+        if cached.index is not old_index:
+            continue
+        if patched is None:
+            patched = _patch_groups_add(cached, index, added_ids)
+        new_net._inference_cache[key] = patched
+
+
+def _patch_groups_add(
+    old_groups: _PairGroups,
+    index: PathIndex,
+    added_ids: Sequence[str],
+) -> _PairGroups:
+    num_paths = index.num_paths
+    new_rows = index.rows(sorted(added_ids))
+    old_row_mask = np.ones(num_paths, dtype=bool)
+    old_row_mask[new_rows] = False
+    old_remap = np.flatnonzero(old_row_mask)
+
+    incidence = index.incidence
+    key_parts: List[np.ndarray] = []
+    for i in new_rows.tolist():
+        partners = np.flatnonzero((incidence & incidence[i]).any(axis=1))
+        partners = partners[partners != i]
+        if partners.size:
+            a = np.minimum(partners, i)
+            b = np.maximum(partners, i)
+            key_parts.append(a.astype(np.int64) * num_paths + b)
+    if key_parts:
+        keys = np.unique(np.concatenate(key_parts))
+        na = (keys // num_paths).astype(np.intp)
+        nb = (keys % num_paths).astype(np.intp)
+        packed = index.packed
+        words = packed[na] & packed[nb]
+        new_groups = _finalize_groups(
+            index,
+            na,
+            nb,
+            words,
+            lambda reps: incidence[na[reps]] & incidence[nb[reps]],
+        )
+    else:
+        new_groups = _empty_groups(index)
+    return _merge_pair_groups(index, old_remap, old_groups, new_groups)
+
+
+def patch_network_remove(
+    old_net: Network, new_net: Network, dropped: Set[str]
+) -> None:
+    """Transplant patched caches onto a path-removed network copy.
+
+    The new registry is produced by row deletion; every valid
+    memoized pair grouping is patched by filtering out pairs that
+    touch a dropped row, dropping groups left empty, and remapping
+    the surviving rows (monotonic, order-preserving).
+    """
+    old_index = old_net._path_index
+    index = _patched_index_remove(old_index, dropped)
+    new_net._path_index = index
+
+    old_to_new = np.full(old_index.num_paths, -1, dtype=np.intp)
+    keep_rows = np.array(
+        [pid not in dropped for pid in old_index.path_ids], dtype=bool
+    )
+    old_to_new[keep_rows] = np.arange(index.num_paths, dtype=np.intp)
+
+    patched: Optional[_PairGroups] = None
+    for key in _cached_pair_group_keys(old_net):
+        cached = old_net._inference_cache[key]
+        if cached.index is not old_index:
+            continue
+        if patched is None:
+            patched = _patch_groups_remove(cached, index, old_to_new)
+        new_net._inference_cache[key] = patched
+
+
+def _patch_groups_remove(
+    old_groups: _PairGroups,
+    index: PathIndex,
+    old_to_new: np.ndarray,
+) -> _PairGroups:
+    num_groups = len(old_groups.sigmas)
+    if num_groups == 0:
+        return _empty_groups(index)
+    keep = (old_to_new[old_groups.pair_a] >= 0) & (
+        old_to_new[old_groups.pair_b] >= 0
+    )
+    group_ids = np.repeat(
+        np.arange(num_groups, dtype=np.intp),
+        np.diff(old_groups.offsets),
+    )
+    kept_counts = np.bincount(group_ids[keep], minlength=num_groups)
+    nonempty = kept_counts > 0
+    if not nonempty.any():
+        return _empty_groups(index)
+    pair_a = old_to_new[old_groups.pair_a[keep]]
+    pair_b = old_to_new[old_groups.pair_b[keep]]
+    offsets = np.concatenate(
+        [
+            np.zeros(1, dtype=np.intp),
+            np.cumsum(kept_counts[nonempty], dtype=np.intp),
+        ]
+    )
+    sorted_sigmas = tuple(
+        sigma
+        for sigma, ne in zip(old_groups.sigmas, nonempty.tolist())
+        if ne
+    )
+    return _PairGroups(
+        index=index,
+        sigmas=sorted_sigmas,
+        sigma_masks=old_groups.sigma_masks[nonempty],
+        pair_a=pair_a,
+        pair_b=pair_b,
+        offsets=offsets,
+        group_of={s: g for g, s in enumerate(sorted_sigmas)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Batched scoring
+# ----------------------------------------------------------------------
 
 
 def _observation_arrays(

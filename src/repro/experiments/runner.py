@@ -91,6 +91,7 @@ def infer_from_measurements(
     settings: EmulationSettings = EmulationSettings(),
     min_pathsets: int = DEFAULT_MIN_PATHSETS,
     rng: Optional[np.random.Generator] = None,
+    materialize: bool = True,
 ) -> Tuple[Dict[PathSet, float], AlgorithmResult]:
     """Records → verdict: the batched inference pipeline.
 
@@ -107,6 +108,11 @@ def infer_from_measurements(
         settings: Thresholds, normalization mode, and decider knobs.
         min_pathsets: Algorithm 1's line-10 threshold.
         rng: Normalization generator (``mode="sampled"`` only).
+        materialize: When False, skip the per-pathset observation
+            dict and the result's per-σ :class:`SliceSystem` objects
+            (both returned empty) — the memory-bounded ≥5k-path mode
+            used by ``benchmarks/bench_multi_isp.py``; verdict and
+            scores are unaffected.
 
     Returns:
         ``(observations, algorithm_result)``.
@@ -118,6 +124,7 @@ def infer_from_measurements(
         loss_threshold=settings.loss_threshold,
         mode=settings.normalization_mode,
         rng=rng,
+        materialize=materialize,
     )
     score_array = batch_unsolvability_arrays(batch, y_single, y_pair_flat)
     scores: Dict[LinkSeq, float] = {
@@ -129,7 +136,9 @@ def infer_from_measurements(
         min_ratio=settings.decider_min_ratio,
         definite=settings.decider_definite,
     )
-    algorithm = identify_from_scores(batch, skipped, scores, decider)
+    algorithm = identify_from_scores(
+        batch, skipped, scores, decider, include_systems=materialize
+    )
     return observations, algorithm
 
 

@@ -67,6 +67,34 @@ def _popcount_rows(packed: np.ndarray) -> np.ndarray:
     return _popcount_bytes(packed).sum(axis=1, dtype=np.int64)
 
 
+#: Pairs per block in :func:`pair_joint_popcounts`: bounds the
+#: gathered ``(block, bytes_per_row)`` temporaries to a few MB
+#: regardless of how many sharing pairs a topology has.
+PAIR_POPCOUNT_BLOCK = 1 << 18
+
+
+def pair_joint_popcounts(
+    packed: np.ndarray,
+    rows_a: np.ndarray,
+    rows_b: np.ndarray,
+    block_pairs: int = PAIR_POPCOUNT_BLOCK,
+) -> np.ndarray:
+    """Popcounts of ``packed[rows_a] & packed[rows_b]``, blocked.
+
+    The ≥5k-path topologies have millions of sharing pairs; gathering
+    both packed operands for all of them at once would allocate
+    ``O(n_pairs · T/8)`` twice. Processing in fixed-size blocks keeps
+    the peak additive memory constant.
+    """
+    out = np.empty(rows_a.size, dtype=np.int64)
+    for lo in range(0, int(rows_a.size), block_pairs):
+        hi = min(lo + block_pairs, int(rows_a.size))
+        out[lo:hi] = _popcount_rows(
+            packed[rows_a[lo:hi]] & packed[rows_b[lo:hi]]
+        )
+    return out
+
+
 def _check_args(
     loss_threshold: float, mode: str, rng: Optional[np.random.Generator]
 ) -> None:
@@ -401,6 +429,7 @@ def batch_slice_observations(
     loss_threshold: float = DEFAULT_LOSS_THRESHOLD,
     mode: str = "expected",
     rng: Optional[np.random.Generator] = None,
+    materialize: bool = True,
 ) -> Tuple[Dict[PathSet, float], np.ndarray, np.ndarray]:
     """Per-slice observations for a whole
     :class:`~repro.core.slices.SliceSystemBatch` at once.
@@ -413,6 +442,13 @@ def batch_slice_observations(
     Python work. Otherwise it defers to
     :func:`joint_slice_observations` (identical values, family by
     family).
+
+    Args:
+        materialize: When False *and* the fast path applies, skip
+            building the ``{pathset: y}`` dict (returned empty) — at
+            ≥5k paths the millions of frozenset keys dominate both
+            time and memory, and the runner's scoring consumes only
+            the arrays. The non-fast fallback always materializes.
 
     Returns:
         ``(observations, y_single, y_pair_flat)`` — the pathset→cost
@@ -461,24 +497,29 @@ def batch_slice_observations(
     y_single = np.full(num_paths, np.nan)
     y_single[used] = y_used
 
-    # Pair costs: popcounts of bit-packed row ANDs.
+    # Pair costs: popcounts of bit-packed row ANDs, in fixed-size
+    # blocks so the gathered temporaries stay bounded at ≥5k paths.
     local = np.full(num_paths, -1, dtype=np.intp)
     local[used] = np.arange(used.size, dtype=np.intp)
     packed = np.packbits(joint, axis=1)
-    joint_count = _popcount_rows(
-        packed[local[batch.pair_a]] & packed[local[batch.pair_b]]
+    joint_count = pair_joint_popcounts(
+        packed, local[batch.pair_a], local[batch.pair_b]
     )
     p_pair = joint_count / total
     y_pair_flat = -np.log(np.clip(p_pair, eps, 1.0))
 
     observations: Dict[PathSet, float] = {}
-    for r, y in zip(used.tolist(), y_used.tolist()):
-        observations[frozenset([path_ids[r]])] = y
-    for s, system in enumerate(batch.systems):
-        lo, hi = batch.offsets[s], batch.offsets[s + 1]
-        pair_sets = system.family[len(system.paths):]
-        for ps, y in zip(pair_sets, y_pair_flat[lo:hi].tolist()):
-            observations[ps] = y
+    if materialize:
+        for r, y in zip(used.tolist(), y_used.tolist()):
+            observations[frozenset([path_ids[r]])] = y
+        # Each sharing pair belongs to exactly one σ group, so the
+        # flat pair arrays enumerate every pair pathset once.
+        for a, b, y in zip(
+            batch.pair_a.tolist(),
+            batch.pair_b.tolist(),
+            y_pair_flat.tolist(),
+        ):
+            observations[frozenset((path_ids[a], path_ids[b]))] = y
     return observations, y_single, y_pair_flat
 
 

@@ -54,6 +54,7 @@ from repro.core.slices import build_slice_batch
 from repro.exceptions import MeasurementError
 from repro.measurement.normalize import (
     DEFAULT_LOSS_THRESHOLD,
+    PAIR_POPCOUNT_BLOCK as _PAIR_BLOCK,
     _popcount_rows,
     batch_slice_observations,
 )
@@ -69,6 +70,13 @@ _WINDOW_CACHE_LIMIT = 64
 
 #: Initial interval capacity of the growable state arrays.
 _INITIAL_CAPACITY = 256
+
+#: Path-count ceiling for the Gram-matrix pair-count route: the Gram
+#: product allocates a ``(|P|, |P|)`` float64 matrix, which at ≥5k
+#: paths (≈200 MB) defeats the streaming memory budget. Above this,
+#: the bit-packed popcount route is used even when pair coverage is
+#: dense.
+_GRAM_MAX_PATHS = 2048
 
 
 class SlidingWindowStats:
@@ -165,8 +173,14 @@ class SlidingWindowStats:
             self._pair_b_stream = np.zeros(0, dtype=np.intp)
         # Dense pair coverage counts joints through a Gram matrix of
         # the status columns; only sparse coverage walks the
-        # bit-packed rows (so they are maintained only then).
-        self._use_gram = self.batch.num_pairs >= len(self._path_ids)
+        # bit-packed rows (so they are maintained only then). The
+        # Gram product is O(|P|²) memory regardless of the span, so
+        # it is also capped by path count — ≥5k-path streams always
+        # take the packed route (DESIGN.md S20).
+        self._use_gram = (
+            self.batch.num_pairs >= len(self._path_ids)
+            and len(self._path_ids) <= _GRAM_MAX_PATHS
+        )
 
     def reserve(self, num_intervals: int) -> None:
         """Pre-size the state arrays for a known stream length
@@ -345,17 +359,24 @@ class SlidingWindowStats:
         else:
             b0 = lo >> 3
             b1 = (hi + 7) >> 3
-            joint = (
-                self._packed[self._pair_a_stream, b0:b1]
-                & self._packed[self._pair_b_stream, b0:b1]
-            )
             head = lo - b0 * 8
-            if head:
-                joint[:, 0] &= 0xFF >> head
             tail = b1 * 8 - hi
-            if tail:
-                joint[:, -1] &= (0xFF << tail) & 0xFF
-            counts = _popcount_rows(joint)
+            num_pairs = int(self._pair_a_stream.size)
+            counts = np.empty(num_pairs, dtype=np.int64)
+            # Blocked over pairs: the gathered (block, span_bytes)
+            # temporaries stay bounded however many sharing pairs
+            # the topology has.
+            for plo in range(0, num_pairs, _PAIR_BLOCK):
+                phi = min(plo + _PAIR_BLOCK, num_pairs)
+                joint = (
+                    self._packed[self._pair_a_stream[plo:phi], b0:b1]
+                    & self._packed[self._pair_b_stream[plo:phi], b0:b1]
+                )
+                if head:
+                    joint[:, 0] &= 0xFF >> head
+                if tail:
+                    joint[:, -1] &= (0xFF << tail) & 0xFF
+                counts[plo:phi] = _popcount_rows(joint)
         if len(self._span_cache) >= 4 * _WINDOW_CACHE_LIMIT:
             self._span_cache.pop(next(iter(self._span_cache)))
         self._span_cache[key] = counts
@@ -474,13 +495,15 @@ class SlidingWindowStats:
             y_used = y_single[self._used]
             for r, y in zip(self._used.tolist(), y_used.tolist()):
                 observations[frozenset([path_ids[r]])] = y
-            for s, system in enumerate(batch.systems):
-                plo, phi = batch.offsets[s], batch.offsets[s + 1]
-                pair_sets = system.family[len(system.paths):]
-                for ps, y in zip(
-                    pair_sets, y_pair_flat[plo:phi].tolist()
-                ):
-                    observations[ps] = y
+            # Each sharing pair belongs to exactly one σ group, so
+            # the flat pair arrays enumerate every pair pathset once
+            # (and the lazy batch systems stay unmaterialized).
+            for a, b, y in zip(
+                batch.pair_a.tolist(),
+                batch.pair_b.tolist(),
+                y_pair_flat.tolist(),
+            ):
+                observations[frozenset((path_ids[a], path_ids[b]))] = y
             self._cache[(int(lo), int(hi))] = (
                 observations,
                 y_single,

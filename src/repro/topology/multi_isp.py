@@ -131,6 +131,130 @@ class MultiIspTopology:
     white_paths: Tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class FederatedTopology:
+    """A federated observatory topology of ``S`` measured subnets.
+
+    The Internet-scale generalization of topology B used by the
+    multi-ISP scaling work (DESIGN.md S20): ``S`` ISPs with ``H``
+    vantage hosts each, a full backbone mesh between them, and one
+    measured path per host pair — intra-subnet pairs through the
+    subnet core, cross-subnet pairs through per-destination egress
+    links and the backbone. All wiring is deterministic in
+    ``(num_isps, hosts_per_isp)``.
+
+    Attributes:
+        network: ``S·C(H,2)`` intra + ``C(S,2)·H²`` cross paths.
+        num_isps / hosts_per_isp: The generator parameters.
+        intra_paths / cross_paths: Path-id groups.
+        subnet_of: ``{path_id: primary ISP name}`` (source subnet).
+        link_owner: ``{link_id: ISP name}`` — the administrative
+            partition of the links. Access, core, and egress links
+            belong to their subnet; the backbone link between ISPs
+            ``i < j`` is owned by ISP ``i``. This is the canonical
+            link partition for sharded inference
+            (:meth:`shard_plan`).
+    """
+
+    network: Network
+    num_isps: int
+    hosts_per_isp: int
+    intra_paths: Tuple[str, ...]
+    cross_paths: Tuple[str, ...]
+    subnet_of: Mapping[str, str]
+    link_owner: Mapping[str, str]
+
+    def shard_plan(self):
+        """The per-ISP :class:`~repro.core.sharding.ShardPlan` derived
+        from :attr:`link_owner`."""
+        from repro.core.sharding import ShardPlan  # local: avoid cycle
+
+        return ShardPlan.from_link_partition(self.network, self.link_owner)
+
+
+def isp_name(k: int) -> str:
+    """Canonical ISP/shard name for subnet ``k``."""
+    return f"isp{k}"
+
+
+def build_federated_multi_isp(
+    num_isps: int = 8,
+    hosts_per_isp: int = 13,
+) -> FederatedTopology:
+    """Build a federated ``S``-subnet, ``H``-hosts-per-subnet topology.
+
+    Per subnet ``k``: host access links ``a{k}_{h}`` and a subnet core
+    ``c{k}``; intra paths ``i{k}_{u}_{v} = ⟨a{k}_{u}, c{k}, a{k}_{v}⟩``
+    for every host pair ``u < v``. Per ordered subnet pair ``(k, m)``:
+    an egress link ``g{k}_{m}``; per unordered pair ``i < j``: a
+    backbone link ``b{i}_{j}`` and cross paths
+    ``x{i}_{u}_{j}_{v} = ⟨a{i}_{u}, g{i}_{j}, b{i}_{j}, g{j}_{i},
+    a{j}_{v}⟩`` for every host pair. The defaults give 5356 paths over
+    196 links — the ≥5k-path scale gated by
+    ``benchmarks/bench_multi_isp.py``.
+
+    Args:
+        num_isps: ``S ≥ 2`` federated subnets.
+        hosts_per_isp: ``H ≥ 2`` vantage hosts per subnet.
+
+    Returns:
+        The :class:`FederatedTopology`.
+    """
+    if num_isps < 2 or hosts_per_isp < 2:
+        raise ValueError("need num_isps >= 2 and hosts_per_isp >= 2")
+    links: List[str] = []
+    link_owner: Dict[str, str] = {}
+    for k in range(num_isps):
+        owned = [f"c{k}"]
+        owned += [f"a{k}_{h}" for h in range(hosts_per_isp)]
+        owned += [f"g{k}_{m}" for m in range(num_isps) if m != k]
+        owned += [f"b{k}_{j}" for j in range(k + 1, num_isps)]
+        links.extend(owned)
+        link_owner.update({lid: isp_name(k) for lid in owned})
+
+    paths: List[Path] = []
+    subnet_of: Dict[str, str] = {}
+    intra: List[str] = []
+    cross: List[str] = []
+    for k in range(num_isps):
+        for u in range(hosts_per_isp):
+            for v in range(u + 1, hosts_per_isp):
+                pid = f"i{k}_{u}_{v}"
+                paths.append(
+                    Path(pid, (f"a{k}_{u}", f"c{k}", f"a{k}_{v}"))
+                )
+                intra.append(pid)
+                subnet_of[pid] = isp_name(k)
+    for i in range(num_isps):
+        for j in range(i + 1, num_isps):
+            for u in range(hosts_per_isp):
+                for v in range(hosts_per_isp):
+                    pid = f"x{i}_{u}_{j}_{v}"
+                    paths.append(
+                        Path(
+                            pid,
+                            (
+                                f"a{i}_{u}",
+                                f"g{i}_{j}",
+                                f"b{i}_{j}",
+                                f"g{j}_{i}",
+                                f"a{j}_{v}",
+                            ),
+                        )
+                    )
+                    cross.append(pid)
+                    subnet_of[pid] = isp_name(i)
+    return FederatedTopology(
+        network=Network(links, paths),
+        num_isps=num_isps,
+        hosts_per_isp=hosts_per_isp,
+        intra_paths=tuple(intra),
+        cross_paths=tuple(cross),
+        subnet_of=subnet_of,
+        link_owner=link_owner,
+    )
+
+
 def build_multi_isp(
     policing_rate: float = 0.3,
     backbone_capacity_mbps: float = 100.0,

@@ -35,7 +35,11 @@ from repro.topology.generators import (
     star_network,
 )
 from repro.topology.figures import ALL_FIGURES
-from repro.topology.multi_isp import POLICED_LINKS, build_multi_isp
+from repro.topology.multi_isp import (
+    POLICED_LINKS,
+    build_federated_multi_isp,
+    build_multi_isp,
+)
 
 GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "golden", "inference_goldens.json"
@@ -43,6 +47,24 @@ GOLDEN_PATH = os.path.join(
 
 #: Normalization rng seed for scored/sampled cases (fresh per case).
 NORM_SEED = 123
+
+#: Per-case interval-count overrides (default 1200). The ≥1k-path
+#: federated case uses fewer intervals to keep the suite fast.
+CASE_INTERVALS = {"fed5x10": 400}
+
+#: Cases whose scored golden entry omits the per-pathset observation
+#: dump (≈10⁵ pathsets — the dense/sparse differential tests cover
+#: the observation layer instead).
+SKIP_OBSERVATION_GOLDENS = frozenset({"fed5x10"})
+
+#: Cases excluded from the frozen-reference side-by-side runs (the
+#: reference implementation is intentionally O(P²) Python and would
+#: dominate the suite at ≥1k paths).
+REFERENCE_EXEMPT = frozenset({"fed5x10"})
+
+#: The federated multi-ISP cases (PR 6): two small exhaustively
+#: checked topologies plus one ≥1k-path generated one.
+FEDERATED_CASE_NAMES = ("fed2x3", "fed3x4", "fed5x10")
 
 
 def _multi_isp_case():
@@ -114,11 +136,24 @@ def build_cases():
         np.random.default_rng(17), net, num_violations=1
     )
     cases["star10_sampled"] = (net, perf, 5, "sampled")
+
+    for name, (num_isps, hosts, seed, violations) in {
+        "fed2x3": (2, 3, 21, 2),
+        "fed3x4": (3, 4, 22, 3),
+        "fed5x10": (5, 10, 23, 3),
+    }.items():
+        fed = build_federated_multi_isp(num_isps, hosts)
+        perf, _ = random_two_class_performance(
+            np.random.default_rng(seed), fed.network, num_violations=violations
+        )
+        cases[name] = (fed.network, perf, 5, "expected")
     return cases
 
 
-def case_records(name, net, perf, num_intervals=1200):
+def case_records(name, net, perf, num_intervals=None):
     """Deterministic synthetic records for one case."""
+    if num_intervals is None:
+        num_intervals = CASE_INTERVALS.get(name, 1200)
     seed = sum(ord(c) for c in name)
     return synthesize_records(
         perf,
@@ -149,9 +184,8 @@ def result_to_dict(result):
     }
 
 
-def capture():
-    """Capture goldens from the current implementation (run once,
-    pre-rewrite; kept for legitimate reference regeneration)."""
+def capture_entry(name, net, perf, mp, mode):
+    """One golden entry from the current implementation."""
     from repro.core.algorithm import (
         identify_non_neutral,
         identify_non_neutral_exact,
@@ -159,36 +193,54 @@ def capture():
     from repro.core.slices import build_slice_system, shared_sequences
     from repro.measurement.normalize import pathset_performance_numbers
 
-    goldens = {}
-    for name, (net, perf, mp, mode) in build_cases().items():
-        entry = {"min_pathsets": mp, "mode": mode}
-        entry["exact"] = result_to_dict(
-            identify_non_neutral_exact(perf, min_pathsets=mp)
-        )
-        data = case_records(name, net, perf)
-        rng = np.random.default_rng(NORM_SEED)
-        observations = {}
-        for sigma, pairs in sorted(shared_sequences(net).items()):
-            system = build_slice_system(net, sigma, pairs)
-            if system is None or system.num_pathsets < mp:
-                continue
-            observations.update(
-                pathset_performance_numbers(
-                    data, system.family, mode=mode, rng=rng
-                )
+    entry = {"min_pathsets": mp, "mode": mode}
+    entry["exact"] = result_to_dict(
+        identify_non_neutral_exact(perf, min_pathsets=mp)
+    )
+    data = case_records(name, net, perf)
+    rng = np.random.default_rng(NORM_SEED)
+    observations = {}
+    for sigma, pairs in sorted(shared_sequences(net).items()):
+        system = build_slice_system(net, sigma, pairs)
+        if system is None or system.num_pathsets < mp:
+            continue
+        observations.update(
+            pathset_performance_numbers(
+                data, system.family, mode=mode, rng=rng
             )
-        algorithm = identify_non_neutral(
-            net, observations, min_pathsets=mp
         )
-        scored = result_to_dict(algorithm)
+    algorithm = identify_non_neutral(net, observations, min_pathsets=mp)
+    scored = result_to_dict(algorithm)
+    if name not in SKIP_OBSERVATION_GOLDENS:
         scored["observations"] = {
             pathset_key(ps): float(v)
             for ps, v in sorted(
                 observations.items(), key=lambda kv: pathset_key(kv[0])
             )
         }
-        entry["scored"] = scored
-        goldens[name] = entry
+    entry["scored"] = scored
+    return entry
+
+
+def capture(only=None):
+    """Capture goldens from the current implementation.
+
+    With ``only`` (a list of case names), existing entries are
+    preserved verbatim and just the named cases are (re)computed and
+    merged in — the mode used to add the federated multi-ISP cases
+    *before* the sparse rewrite, per the PR-6 differential-test
+    protocol. Without ``only``, everything is regenerated (run only
+    if the *reference* semantics legitimately change).
+    """
+    goldens = {}
+    if only is not None and os.path.exists(GOLDEN_PATH):
+        with open(GOLDEN_PATH) as fh:
+            goldens = json.load(fh)
+    for name, (net, perf, mp, mode) in build_cases().items():
+        if only is not None and name not in only:
+            continue
+        goldens[name] = capture_entry(name, net, perf, mp, mode)
+        print(f"captured {name}")
     os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
     with open(GOLDEN_PATH, "w") as fh:
         json.dump(goldens, fh, indent=1, sort_keys=True)
@@ -199,4 +251,6 @@ def capture():
 
 
 if __name__ == "__main__":
-    capture()
+    import sys
+
+    capture(only=sys.argv[1:] or None)

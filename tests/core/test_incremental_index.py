@@ -1,0 +1,182 @@
+"""Incremental path registry: patched caches ≡ cold rebuild.
+
+:meth:`Network.with_paths` / :meth:`Network.without_paths` patch the
+cached :class:`PathIndex` and memoized pair groups in place of a full
+rebuild (DESIGN.md S20). This suite is the lock on that optimization:
+after any add/remove the patched index, pair-group arrays, and slice
+batches must be *identical* — not just equivalent — to the ones a
+fresh network would build, both on deterministic topologies and under
+hypothesis-generated add/remove sequences.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.network import Network, Path
+from repro.core.slices import _pair_groups, build_slice_batch
+from repro.exceptions import UnknownLinkError, UnknownPathError
+from repro.topology.multi_isp import build_federated_multi_isp
+
+_SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_index_equal(patched, rebuilt):
+    assert patched.path_ids == rebuilt.path_ids
+    assert patched.link_ids == rebuilt.link_ids
+    assert patched.path_pos == rebuilt.path_pos
+    assert patched.link_pos == rebuilt.link_pos
+    np.testing.assert_array_equal(patched.incidence, rebuilt.incidence)
+    np.testing.assert_array_equal(patched.packed, rebuilt.packed)
+
+
+def _assert_groups_equal(patched, rebuilt):
+    assert patched.sigmas == rebuilt.sigmas
+    np.testing.assert_array_equal(patched.pair_a, rebuilt.pair_a)
+    np.testing.assert_array_equal(patched.pair_b, rebuilt.pair_b)
+    np.testing.assert_array_equal(patched.offsets, rebuilt.offsets)
+    np.testing.assert_array_equal(
+        patched.sigma_masks, rebuilt.sigma_masks
+    )
+    np.testing.assert_array_equal(patched.group_of, rebuilt.group_of)
+
+
+def _assert_batch_equal(patched, rebuilt):
+    assert patched.sigmas == rebuilt.sigmas
+    for field in (
+        "pair_a", "pair_b", "offsets", "la", "lb",
+        "member_rows", "member_offsets", "sigma_masks",
+    ):
+        np.testing.assert_array_equal(
+            getattr(patched, field), getattr(rebuilt, field), field
+        )
+
+
+def _warm(net, min_pathsets=1):
+    """Build the caches the patch path is supposed to maintain."""
+    _pair_groups(net)
+    build_slice_batch(net, min_pathsets)
+    return net
+
+
+def _check_against_rebuild(net, min_pathsets=1):
+    """`net` (with patched caches) vs a cold rebuild of the same graph."""
+    rebuilt = Network(
+        list(net.link_ids), [net.path(pid) for pid in net.path_ids]
+    )
+    _assert_index_equal(net.path_index, rebuilt.path_index)
+    _assert_groups_equal(_pair_groups(net), _pair_groups(rebuilt))
+    got, got_skip = build_slice_batch(net, min_pathsets)
+    want, want_skip = build_slice_batch(rebuilt, min_pathsets)
+    assert got_skip == want_skip
+    _assert_batch_equal(got, want)
+
+
+class TestDeterministic:
+    def _net(self):
+        return Network(
+            ["l0", "l1", "l2", "l3"],
+            [
+                Path("p0", ("l0", "l1")),
+                Path("p1", ("l1", "l2")),
+                Path("p2", ("l0", "l2")),
+                Path("p3", ("l3",)),
+            ],
+        )
+
+    def test_add_patches_index(self):
+        net = _warm(self._net())
+        grown = net.with_paths(
+            [Path("p1b", ("l1", "l3")), Path("p0b", ("l0",))]
+        )
+        # The patch ran: the index object is present without access.
+        assert grown._path_index is not None
+        _check_against_rebuild(grown)
+
+    def test_remove_patches_index(self):
+        net = _warm(self._net())
+        shrunk = net.without_paths(["p1", "p3"])
+        assert shrunk._path_index is not None
+        # Link universe is kept even when a link loses all paths.
+        assert shrunk.link_ids == net.link_ids
+        _check_against_rebuild(shrunk)
+
+    def test_add_then_remove_round_trip(self):
+        net = _warm(self._net())
+        grown = net.with_paths([Path("p4", ("l2", "l3"))])
+        back = grown.without_paths(["p4"])
+        _check_against_rebuild(back)
+        _assert_groups_equal(_pair_groups(back), _pair_groups(net))
+
+    def test_cold_network_skips_patching(self):
+        net = self._net()  # no caches built
+        grown = net.with_paths([Path("p4", ("l2", "l3"))])
+        assert grown._path_index is None  # nothing to patch
+        _check_against_rebuild(grown)
+
+    def test_add_unknown_link_rejected(self):
+        with pytest.raises(UnknownLinkError):
+            self._net().with_paths([Path("px", ("ghost",))])
+
+    def test_remove_unknown_path_rejected(self):
+        with pytest.raises(UnknownPathError):
+            self._net().without_paths(["ghost"])
+
+    def test_federated_vantage_churn(self):
+        """A realistic churn on the multi-ISP topology: one vantage
+        host's paths leave, two fresh paths join."""
+        fed = build_federated_multi_isp(2, 4)
+        net = _warm(fed.network, min_pathsets=5)
+        leaving = sorted(net.path_ids)[:4]
+        shrunk = net.without_paths(leaving)
+        _check_against_rebuild(shrunk, min_pathsets=5)
+        template = net.path(sorted(net.path_ids)[-1])
+        grown = shrunk.with_paths(
+            [Path("new0", template.links), Path("new1", template.links[:1])]
+        )
+        _check_against_rebuild(grown, min_pathsets=5)
+
+
+@st.composite
+def churn_cases(draw):
+    num_links = draw(st.integers(3, 7))
+    links = [f"l{k}" for k in range(num_links)]
+    num_paths = draw(st.integers(3, 6))
+    def draw_path(name):
+        size = draw(st.integers(1, min(4, num_links)))
+        chosen = draw(
+            st.permutations(links).map(lambda p: tuple(p[:size]))
+        )
+        return Path(name, chosen)
+    paths = [draw_path(f"p{i}") for i in range(num_paths)]
+    added = [
+        draw_path(f"a{i}") for i in range(draw(st.integers(1, 3)))
+    ]
+    removed = draw(
+        st.sets(
+            st.sampled_from([p.id for p in paths]),
+            min_size=1,
+            max_size=num_paths - 1,
+        )
+    )
+    return links, paths, added, sorted(removed)
+
+
+@_SETTINGS
+@given(churn_cases())
+def test_random_churn_equals_rebuild(case):
+    """Any add/remove sequence on a warmed network leaves patched
+    caches identical to a cold rebuild at every step."""
+    links, paths, added, removed = case
+    net = _warm(Network(links, paths))
+    grown = net.with_paths(added)
+    _check_against_rebuild(grown)
+    shrunk = grown.without_paths(removed)
+    _check_against_rebuild(shrunk)
+    # And patching a patched network (second generation) stays exact.
+    again = shrunk.with_paths([Path("z0", tuple(links[:1]))])
+    _check_against_rebuild(again)

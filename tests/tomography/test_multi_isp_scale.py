@@ -1,0 +1,82 @@
+"""Memory regression: ≥5k-path records→verdict under a hard budget.
+
+The PR-6 scaling contract (DESIGN.md S20): on the 8×13 federated
+multi-ISP topology (5356 paths, 196 links) the sparse/bit-packed
+pipeline must complete records→verdict within a fixed tracemalloc
+peak — monolithic (``materialize=False``) and sharded — and the two
+must agree bitwise. Measured peaks at the time of writing were
+~173 MB monolithic and ~59 MB sharded; the budgets below leave
+≈1.5–2× headroom so the test fails on a genuine regression (e.g. a
+dense P×P intermediate, ~229 MB of float64 alone at this size), not
+on allocator noise.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.sharding import infer_sharded
+from repro.experiments.runner import infer_from_measurements
+from repro.measurement.synthetic import synthesize_records
+from repro.topology.generators import random_two_class_performance
+from repro.topology.multi_isp import build_federated_multi_isp
+
+#: Hard tracemalloc-peak budgets (bytes) for the 5356-path run.
+MONOLITHIC_BUDGET = 256 * 1024 * 1024
+SHARDED_BUDGET = 128 * 1024 * 1024
+
+NUM_INTERVALS = 60
+
+
+@pytest.fixture(scope="module")
+def scale_case():
+    fed = build_federated_multi_isp(8, 13)
+    assert len(fed.network.path_ids) >= 5000
+    perf, _ = random_two_class_performance(
+        np.random.default_rng(5), fed.network, num_violations=4
+    )
+    data = synthesize_records(
+        perf, np.random.default_rng(6), num_intervals=NUM_INTERVALS
+    )
+    return fed, data
+
+
+def _traced_peak(fn):
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def test_monolithic_within_budget(scale_case):
+    fed, data = scale_case
+    # A fresh network: the module fixture's caches must not subsidize
+    # the measured run.
+    net = build_federated_multi_isp(8, 13).network
+    (_, alg), peak = _traced_peak(
+        lambda: infer_from_measurements(net, data, materialize=False)
+    )
+    assert alg.scores  # non-vacuous
+    assert not alg.systems  # the memory-bounded mode
+    assert peak <= MONOLITHIC_BUDGET, f"peak {peak / 1e6:.1f} MB"
+
+
+def test_sharded_within_budget_and_identical(scale_case):
+    fed, data = scale_case
+    net = build_federated_multi_isp(8, 13).network
+    (_, sharded), peak = _traced_peak(
+        lambda: infer_sharded(net, data, fed.shard_plan())
+    )
+    assert peak <= SHARDED_BUDGET, f"peak {peak / 1e6:.1f} MB"
+    # Bitwise agreement with the monolith on the full-scale topology.
+    _, mono = infer_from_measurements(
+        fed.network, data, materialize=False
+    )
+    assert sharded.scores == mono.scores
+    assert set(sharded.identified) == set(mono.identified)
+    assert set(sharded.neutral) == set(mono.neutral)
+    assert set(sharded.skipped) == set(mono.skipped)

@@ -1,0 +1,205 @@
+"""Differential harness: sharded inference ≡ monolithic ≡ reference.
+
+The PR-6 lock on :mod:`repro.core.sharding`: for any link partition,
+:func:`infer_sharded` must produce the *same verdict* as the
+monolithic :func:`repro.experiments.runner.infer_from_measurements`
+— identical identified / neutral / skipped sets and bitwise-equal
+per-σ unsolvability scores (DESIGN.md S20 argues why; this suite
+checks it). Both are additionally compared against the frozen
+O(P²)-Python :func:`repro.core.algorithm_reference.infer_reference`
+on topologies small enough to afford it.
+
+Coverage: deterministic federated multi-ISP topologies (including a
+≥1k-path one, sharded by the administrative ISP partition) plus
+hypothesis-generated random networks with random link partitions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.algorithm_reference import infer_reference
+from repro.core.network import Network, Path
+from repro.core.sharding import ShardPlan, infer_sharded
+from repro.exceptions import ShardingError, UnknownLinkError
+from repro.experiments.config import EmulationSettings
+from repro.experiments.runner import infer_from_measurements
+from repro.measurement.synthetic import synthesize_records
+from repro.topology.generators import random_two_class_performance
+from repro.topology.multi_isp import build_federated_multi_isp
+
+RELTOL = 1e-9
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_same_verdict(got, expected, exact_scores=True):
+    """Sharded vs monolithic: same sets, same (bitwise) scores."""
+    assert set(got.identified) == set(expected.identified)
+    assert set(got.identified_raw) == set(expected.identified_raw)
+    assert set(got.neutral) == set(expected.neutral)
+    assert set(got.skipped) == set(expected.skipped)
+    assert set(got.scores) == set(expected.scores)
+    for sigma, score in expected.scores.items():
+        if exact_scores:
+            assert got.scores[sigma] == score, sigma
+        else:
+            assert got.scores[sigma] == pytest.approx(
+                score, rel=RELTOL, abs=RELTOL
+            ), sigma
+
+
+# ----------------------------------------------------------------------
+# Deterministic federated multi-ISP cases
+# ----------------------------------------------------------------------
+
+#: (num_isps, hosts_per_isp, perf seed, violations, intervals,
+#:  run the O(P²) reference too?)
+FEDERATED_CASES = {
+    "fed2x3": (2, 3, 21, 2, 600, True),
+    "fed3x4": (3, 4, 22, 3, 600, True),
+    # ≥1k paths (5·10 federated = 1225): reference is exempt — it is
+    # intentionally unvectorized Python and would dominate the suite.
+    "fed5x10": (5, 10, 23, 3, 300, False),
+}
+
+
+def _federated_case(name):
+    num_isps, hosts, seed, violations, intervals, with_ref = (
+        FEDERATED_CASES[name]
+    )
+    fed = build_federated_multi_isp(num_isps, hosts)
+    perf, _ = random_two_class_performance(
+        np.random.default_rng(seed), fed.network, num_violations=violations
+    )
+    data = synthesize_records(
+        perf,
+        np.random.default_rng(sum(ord(c) for c in name)),
+        num_intervals=intervals,
+    )
+    return fed, data, with_ref
+
+
+class TestFederatedEquivalence:
+    @pytest.mark.parametrize("name", sorted(FEDERATED_CASES))
+    def test_sharded_matches_monolithic(self, name):
+        fed, data, with_ref = _federated_case(name)
+        plan = fed.shard_plan()
+        assert len(plan.shards) == fed.num_isps
+        _, mono = infer_from_measurements(fed.network, data)
+        _, shard = infer_sharded(fed.network, data, plan)
+        assert mono.scores, name  # non-vacuous: σ systems exist
+        _assert_same_verdict(shard, mono, exact_scores=True)
+        if with_ref:
+            _, ref = infer_reference(fed.network, data)
+            _assert_same_verdict(shard, ref, exact_scores=False)
+
+    def test_single_shard_plan_is_monolithic(self):
+        fed, data, _ = _federated_case("fed2x3")
+        plan = ShardPlan.from_link_partition(
+            fed.network, {lid: "all" for lid in fed.network.link_ids}
+        )
+        _, mono = infer_from_measurements(fed.network, data)
+        _, shard = infer_sharded(fed.network, data, plan)
+        _assert_same_verdict(shard, mono, exact_scores=True)
+
+    def test_sampled_mode_delegates_to_monolithic(self):
+        """Outside the expected-mode fast path the sharded entry
+        point must fall back to (and exactly match) the monolith."""
+        fed, data, _ = _federated_case("fed2x3")
+        cfg = EmulationSettings(normalization_mode="sampled")
+        _, mono = infer_from_measurements(
+            fed.network, data, settings=cfg,
+            rng=np.random.default_rng(7),
+        )
+        _, shard = infer_sharded(
+            fed.network, data, fed.shard_plan(), settings=cfg,
+            rng=np.random.default_rng(7),
+        )
+        _assert_same_verdict(shard, mono, exact_scores=True)
+
+
+# ----------------------------------------------------------------------
+# Shard-plan construction
+# ----------------------------------------------------------------------
+
+class TestShardPlan:
+    def _net(self):
+        return Network(
+            ["l0", "l1", "l2"],
+            [
+                Path("p0", ("l0", "l1")),
+                Path("p1", ("l1", "l2")),
+                Path("p2", ("l0", "l2")),
+            ],
+        )
+
+    def test_paths_are_link_unions(self):
+        net = self._net()
+        plan = ShardPlan.from_link_partition(
+            net, {"l0": "s0", "l1": "s0", "l2": "s1"}
+        )
+        assert plan.names == ("s0", "s1")
+        s0, s1 = plan.shards
+        assert s0.link_ids == ("l0", "l1")
+        assert s0.path_ids == ("p0", "p1", "p2")
+        assert s1.link_ids == ("l2",)
+        assert s1.path_ids == ("p1", "p2")
+
+    def test_unknown_link_rejected(self):
+        net = self._net()
+        owners = {lid: "s" for lid in net.link_ids}
+        owners["ghost"] = "s"
+        with pytest.raises(UnknownLinkError):
+            ShardPlan.from_link_partition(net, owners)
+
+    def test_uncovered_link_rejected(self):
+        net = self._net()
+        with pytest.raises(ShardingError):
+            ShardPlan.from_link_partition(net, {"l0": "s", "l1": "s"})
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random topologies × random link partitions
+# ----------------------------------------------------------------------
+
+@st.composite
+def random_sharded_cases(draw):
+    num_links = draw(st.integers(3, 7))
+    links = [f"l{k}" for k in range(num_links)]
+    num_paths = draw(st.integers(3, 5))
+    paths = []
+    for i in range(num_paths):
+        size = draw(st.integers(1, min(4, num_links)))
+        chosen = draw(
+            st.permutations(links).map(lambda p: tuple(p[:size]))
+        )
+        paths.append(Path(f"p{i}", chosen))
+    net = Network(links, paths)
+    num_shards = draw(st.integers(1, 3))
+    owner_of = {
+        lid: f"s{draw(st.integers(0, num_shards - 1))}" for lid in links
+    }
+    seed = draw(st.integers(0, 2**16))
+    return net, owner_of, seed
+
+
+@_SETTINGS
+@given(random_sharded_cases())
+def test_random_partitions_match_monolithic_and_reference(case):
+    net, owner_of, seed = case
+    rng = np.random.default_rng(seed)
+    perf, _ = random_two_class_performance(rng, net, num_violations=1)
+    data = synthesize_records(perf, rng, num_intervals=60)
+    plan = ShardPlan.from_link_partition(net, owner_of)
+    # min_pathsets=1 examines every σ — exercises the merge on groups
+    # the default threshold would hide on tiny nets.
+    _, mono = infer_from_measurements(net, data, min_pathsets=1)
+    _, shard = infer_sharded(net, data, plan, min_pathsets=1)
+    _assert_same_verdict(shard, mono, exact_scores=True)
+    _, ref = infer_reference(net, data, min_pathsets=1)
+    _assert_same_verdict(shard, ref, exact_scores=False)

@@ -1,0 +1,249 @@
+"""Step-kernel throughput: the compiled-dispatch gate (ISSUE 7).
+
+The fused step kernels exist to kill the per-step interpreter
+dispatch: one kernel call advances a whole fluid step (and one the
+packet engine's quantum scan) instead of ~dozens of small numpy ops.
+This bench measures that claim on the Table-1 default dumbbell
+workload and prints the EXPERIMENTS.md "Step kernels" table.
+
+Gates (enforced only where numba is importable — the ``python``
+backend runs the same kernel *semantics* uncompiled, so on
+numba-less machines the cross-backend numbers are informational and
+only the equivalence/verdict assertions gate):
+
+* fused single-scenario step throughput ≥ 5× the numpy step loop
+  (≥ 3.5× in quick mode, the usual CI noise margin);
+* the packet serve kernel ≥ 2× the closed-form numpy scan on large
+  admission batches (≥ 1.5× quick).
+
+The grouped-GEMM gate is backend-independent (both sides are numpy):
+folding the scenario-batched engine's per-scenario GEMV loops into
+one grouped GEMM must be ≥ 2× (≥ 1.5× quick) on a Figure-8-sized
+batch, with matching results.
+"""
+
+import time
+
+import numpy as np
+from conftest import BENCH_QUICK, heading, run_once
+
+from repro.analysis.stats import format_table
+from repro.fluid import kernels
+from repro.fluid.engine import FluidNetwork
+from repro.fluid.params import FlowSlotSpec, PathWorkload
+from repro.topology.dumbbell import build_dumbbell
+
+#: The fused backend this machine can run.
+FUSED = "numba" if kernels.NUMBA_AVAILABLE else "python"
+
+#: Throughput gates only apply to the *compiled* backend; the python
+#: backend is the semantics-validation fallback and is slower than
+#: numpy by design.
+GATED = kernels.NUMBA_AVAILABLE
+
+STEP_FLOOR = 3.5 if BENCH_QUICK else 5.0
+SERVE_FLOOR = 1.5 if BENCH_QUICK else 2.0
+GEMM_FLOOR = 1.5 if BENCH_QUICK else 2.0
+
+DURATION = 20.0 if BENCH_QUICK else 60.0
+WARMUP = 2.0
+SEED = 3
+
+
+def _table1_dumbbell():
+    """The Table-1 default dumbbell: policing at the default rate,
+    50 ms RTT, 10 parallel flow slots per path, 10 Mb flows."""
+    topo = build_dumbbell(mechanism="policing", rate_fraction=0.3)
+    workloads = {
+        pid: PathWorkload(
+            slots=(FlowSlotSpec(mean_size_mb=10.0, mean_gap_seconds=2.0),)
+            * 10,
+            rtt_seconds=0.05,
+        )
+        for pid in topo.network.path_ids
+    }
+    return topo, workloads
+
+
+def _timed_run(backend, topo, workloads):
+    with kernels.use_backend(backend):
+        sim = FluidNetwork(
+            topo.network,
+            topo.classes,
+            topo.link_specs,
+            workloads,
+            seed=SEED,
+        )
+        t0 = time.perf_counter()
+        result = sim.run(duration_seconds=DURATION, warmup_seconds=WARMUP)
+        elapsed = time.perf_counter() - t0
+    return result, elapsed
+
+
+def _verdict(result, threshold=0.01):
+    from repro.measurement.normalize import path_congestion_probability
+
+    return {
+        pid: path_congestion_probability(result.measurements, pid)
+        > threshold
+        for pid in sorted(result.measurements.path_ids)
+    }
+
+
+def test_step_kernel_throughput_gate(benchmark):
+    topo, workloads = _table1_dumbbell()
+
+    def run_both():
+        ref, t_numpy = _timed_run("numpy", topo, workloads)
+        fused, t_fused = _timed_run(FUSED, topo, workloads)
+        return ref, t_numpy, fused, t_fused
+
+    ref, t_numpy, fused, t_fused = run_once(benchmark, run_both)
+
+    steps = int(DURATION / 0.01)  # engine default dt
+    speedup = t_numpy / t_fused
+    heading("Step kernels: single-scenario step throughput (Table 1)")
+    print(format_table(
+        ["backend", "steps/s", "wall s", "speedup vs numpy"],
+        [
+            ("numpy", f"{steps / t_numpy:,.0f}", f"{t_numpy:.3f}", "1.00x"),
+            (
+                FUSED,
+                f"{steps / t_fused:,.0f}",
+                f"{t_fused:.3f}",
+                f"{speedup:.2f}x",
+            ),
+        ],
+    ))
+
+    # Verdict invariance across backends gates everywhere.
+    assert _verdict(fused) == _verdict(ref)
+    for pid in sorted(ref.measurements.path_ids):
+        r = ref.measurements.record(pid)
+        f = fused.measurements.record(pid)
+        np.testing.assert_allclose(f.sent, r.sent, rtol=1e-6, atol=1e-6)
+        np.testing.assert_allclose(f.lost, r.lost, rtol=1e-6, atol=1e-6)
+
+    if GATED:
+        assert speedup >= STEP_FLOOR, (
+            f"fused step throughput {speedup:.2f}x < {STEP_FLOOR}x floor"
+        )
+    else:
+        print(
+            f"(numba not installed: {FUSED} backend validates semantics "
+            f"only; the {STEP_FLOOR}x gate applies to the numba leg)"
+        )
+
+
+def test_grouped_gemm_gate(benchmark):
+    """batch.py's per-scenario GEMV loops vs their grouped GEMM — the
+    Figure-8 shape (B=128 worlds on the dumbbell: 8 links, 4 paths)."""
+    B, L, P = 128, 8, 4
+    rng = np.random.default_rng(SEED)
+    scaled = rng.random((B, L))
+    inc_lp = (rng.random((L, P)) < 0.4).astype(float)
+    out_loop = np.zeros((B, P))
+    out_gemm = np.zeros((B, P))
+    iters = 100 if BENCH_QUICK else 300
+
+    def loop_gemv():
+        for _ in range(iters):
+            for b in range(B):
+                np.dot(scaled[b], inc_lp, out=out_loop[b])
+
+    def grouped_gemm():
+        for _ in range(iters):
+            np.matmul(scaled, inc_lp, out=out_gemm)
+
+    def run_both():
+        t0 = time.perf_counter()
+        loop_gemv()
+        t_loop = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        grouped_gemm()
+        t_gemm = time.perf_counter() - t0
+        return t_loop, t_gemm
+
+    run_both()  # warm the BLAS paths before timing
+    t_loop, t_gemm = run_once(benchmark, run_both)
+
+    speedup = t_loop / t_gemm
+    heading("Grouped GEMM vs per-scenario GEMV loop (B=128)")
+    print(format_table(
+        ["route", "µs/step", "speedup"],
+        [
+            ("per-scenario GEMV loop", f"{1e6 * t_loop / iters:.1f}",
+             "1.00x"),
+            ("grouped GEMM", f"{1e6 * t_gemm / iters:.1f}",
+             f"{speedup:.2f}x"),
+        ],
+    ))
+    np.testing.assert_allclose(out_gemm, out_loop, rtol=1e-12, atol=0)
+    assert speedup >= GEMM_FLOOR, (
+        f"grouped GEMM {speedup:.2f}x < {GEMM_FLOOR}x floor"
+    )
+
+
+def test_serve_fifo_kernel_bench(benchmark):
+    """The packet engine's droptail+Lindley quantum scan, kernel vs
+    closed form, on Figure-8-sized arrival batches."""
+    from repro.emulator.core import _serve_fifo
+
+    rng = np.random.default_rng(SEED)
+    batches = [
+        np.sort(rng.uniform(0.0, 0.05, n))
+        for n in rng.integers(256, 4096, size=40)
+    ]
+    rate, capacity = 12_500.0, 833
+    iters = 5 if BENCH_QUICK else 15
+
+    def run_backend(backend):
+        with kernels.use_backend(backend):
+            t0 = time.perf_counter()
+            out = None
+            for _ in range(iters):
+                out = [
+                    _serve_fifo(arr, rate, 0.0, capacity)
+                    for arr in batches
+                ]
+            return out, time.perf_counter() - t0
+
+    def run_both():
+        ref, t_numpy = run_backend("numpy")
+        fused, t_fused = run_backend(FUSED)
+        return ref, t_numpy, fused, t_fused
+
+    ref, t_numpy, fused, t_fused = run_once(benchmark, run_both)
+
+    speedup = t_numpy / t_fused
+    heading("Packet serve kernel: droptail + Lindley quantum scan")
+    print(format_table(
+        ["backend", "ms/sweep", "speedup"],
+        [
+            ("numpy", f"{1e3 * t_numpy / iters:.2f}", "1.00x"),
+            (FUSED, f"{1e3 * t_fused / iters:.2f}", f"{speedup:.2f}x"),
+        ],
+    ))
+
+    for (r_admit, r_dep, r_busy), (k_admit, k_dep, k_busy) in zip(
+        ref, fused
+    ):
+        r_mask = (
+            np.ones(0, dtype=bool) if r_admit is None else r_admit
+        )
+        k_mask = (
+            np.ones(0, dtype=bool) if k_admit is None else k_admit
+        )
+        np.testing.assert_array_equal(k_mask, r_mask)
+        np.testing.assert_allclose(k_dep, r_dep, rtol=1e-9, atol=1e-12)
+        assert np.isclose(k_busy, r_busy, rtol=1e-9, atol=1e-12)
+
+    if GATED:
+        assert speedup >= SERVE_FLOOR, (
+            f"serve kernel {speedup:.2f}x < {SERVE_FLOOR}x floor"
+        )
+    else:
+        print(
+            f"(numba not installed: gate ({SERVE_FLOOR}x) applies to "
+            f"the numba leg)"
+        )

@@ -2,6 +2,8 @@
 
 Commands:
 
+* ``info`` — the active step-kernel backend, numba availability, and
+  the substrate registry with cache-version tags.
 * ``theory`` — the paper's worked examples, analytically (instant).
 * ``fig8 --set N [--value V]`` — one topology-A experiment (set 1–9).
 * ``topo-b [--seed S]`` — the topology-B experiment with reports.
@@ -32,6 +34,37 @@ from typing import List, Optional
 
 from repro.exceptions import ReproError
 from repro.experiments.config import EmulationSettings
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.fluid.kernels import kernel_info
+    from repro.substrate.registry import (
+        available_substrates,
+        substrate_cache_tag,
+    )
+
+    info = kernel_info()
+    print("kernel backend:")
+    print(f"  active:          {info['backend']}")
+    print(f"  compiled:        {'yes' if info['compiled'] else 'no'}")
+    print(
+        "  numba:           "
+        + (
+            f"available (version {info['numba_version']})"
+            if info["numba_available"]
+            else "not installed"
+        )
+    )
+    print(f"  REPRO_KERNEL:    {info['env_override'] or '(unset)'}")
+    print(f"  numpy:           {np.__version__}")
+    print("substrates:")
+    for name in available_substrates():
+        # name:version — exactly the tag sweep cache entries carry,
+        # so logs record which backend produced a cached result.
+        print(f"  {name:<10} {substrate_cache_tag(name)}")
+    return 0
 
 
 def _cmd_theory(_: argparse.Namespace) -> int:
@@ -297,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    sub.add_parser(
+        "info",
+        help="active kernel backend, numba status, substrate registry",
+    )
+
     sub.add_parser("theory", help="worked theory examples (instant)")
 
     fig8 = sub.add_parser("fig8", help="one topology-A experiment set")
@@ -406,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
+        "info": _cmd_info,
         "theory": _cmd_theory,
         "fig8": _cmd_fig8,
         "topo-b": _cmd_topo_b,

@@ -56,6 +56,7 @@ import numpy as np
 from repro.core.classes import ClassAssignment
 from repro.core.network import Network
 from repro.exceptions import ConfigurationError, EmulationError
+from repro.fluid import kernels
 from repro.fluid.params import FluidLinkSpec, PathWorkload, build_link_arrays
 from repro.fluid.tcp import TcpArrayState
 from repro.fluid.traffic import SlotArrays
@@ -69,7 +70,31 @@ from repro.measurement.records import (
 
 #: Engine implementation tag; part of the sweep result-cache key so
 #: cached outcomes are invalidated when the emulation model changes.
+#: This tag names the *numpy* step loop, whose arithmetic is frozen by
+#: the PR 1 goldens.
 ENGINE_VERSION = "fluid-vec-2"
+
+#: Tag of the fused step-kernel loop (DESIGN.md S21). The kernels
+#: reassociate a handful of reductions (hop-sum RTT vs BLAS GEMV), so
+#: their results match the numpy loop only within calibrated
+#: tolerances — a distinct version keeps sweep cache entries from the
+#: two families apart.
+KERNEL_ENGINE_VERSION = "fluid-kern-3"
+
+
+def engine_version() -> str:
+    """The cache-key version tag of the *active* fluid engine.
+
+    Backend-dependent: the numpy backend reproduces the frozen
+    goldens bit-for-bit and keeps :data:`ENGINE_VERSION`; the fused
+    kernel backends (numba / python) share
+    :data:`KERNEL_ENGINE_VERSION` because they run identical
+    arithmetic (the python backend executes the very same kernel
+    functions uncompiled).
+    """
+    if kernels.step_kernels_enabled():
+        return KERNEL_ENGINE_VERSION
+    return ENGINE_VERSION
 
 #: Default step length (seconds).
 DEFAULT_DT = 0.01
@@ -164,18 +189,21 @@ def package_result(
         queue_occ_out: ``(|links|, T)``.
         flows_by_path: ``(|paths|,)`` completed-flow counts.
     """
-    records = []
     flows_completed = {
         pid: int(flows_by_path[p]) for p, pid in enumerate(path_ids)
     }
-    for p, pid in enumerate(path_ids):
-        if not workloads[pid].measured:
-            continue
-        sent_i = np.rint(sent_out[p]).astype(np.int64)
-        lost_i = np.minimum(
-            np.rint(lost_out[p]).astype(np.int64), sent_i
-        )
-        records.append(PathRecord(pid, sent_i, lost_i))
+    measured_rows = np.array(
+        [p for p, pid in enumerate(path_ids) if workloads[pid].measured],
+        dtype=np.intp,
+    )
+    sent_i = np.rint(sent_out[measured_rows]).astype(np.int64)
+    lost_i = np.minimum(
+        np.rint(lost_out[measured_rows]).astype(np.int64), sent_i
+    )
+    records = [
+        PathRecord(path_ids[p], sent_i[k], lost_i[k])
+        for k, p in enumerate(measured_rows.tolist())
+    ]
     link_arr = {
         lid: {
             cn: link_arr_out[l, c]
@@ -205,6 +233,48 @@ def package_result(
         flows_completed=flows_completed,
         path_rtt_seconds=rtt_by_path,
     )
+
+
+def _allocate_bursts(
+    rng, path_burst, path_send, slots_of_path, send, slot_burst
+) -> None:
+    """Allocate each path's burst-drop volume to its active flows.
+
+    A droptail burst is a contiguous packet run, so it lands on one
+    randomly chosen flow per step (weighted by what each sent),
+    spilling to the next only when the burst exceeds the flow's
+    traffic — the weighted order without replacement comes from
+    Gumbel keys (Efraimidis–Spirakis). The uniforms for every bursty
+    path are drawn in one flat RNG call and sliced per path, which
+    consumes the bit-identical stream of the former per-path
+    ``rng.random(len(members))`` loop (Generator.random fills a
+    buffer sequentially, so one draw of ``n1+n2`` equals draws of
+    ``n1`` then ``n2``).
+    """
+    todo = []
+    total = 0
+    for p in np.nonzero((path_burst > 0.0) & (path_send > 0.0))[0]:
+        members = slots_of_path[p]
+        weights = send[members]
+        present = weights > 0.0
+        if not present.any():
+            continue
+        todo.append((p, members[present], weights[present]))
+        total += int(present.sum())
+    if not todo:
+        return
+    u_all = rng.random(total)
+    pos = 0
+    for p, members, weights in todo:
+        u = u_all[pos : pos + len(members)]
+        pos += len(members)
+        burst = min(path_burst[p], path_send[p])
+        order = (np.log(-np.log(u)) - np.log(weights)).argsort()
+        ordered = weights[order]
+        ahead = ordered.cumsum() - ordered
+        slot_burst[members[order]] = np.minimum(
+            ordered, np.maximum(burst - ahead, 0.0)
+        )
 
 
 class FluidNetwork:
@@ -441,6 +511,13 @@ class FluidNetwork:
         base_rtt = np.array(
             [self._workloads[pid].rtt_seconds for pid in path_ids]
         )
+        # Padded hop table for the fused kernel's per-path walks.
+        path_len = np.array(
+            [len(r) for r in path_link_rows], dtype=np.int64
+        )
+        hop_link = np.full((num_paths, max_hops), -1, dtype=np.int64)
+        for p, row in enumerate(path_link_rows):
+            hop_link[p, : len(row)] = row
 
         # --- link state -------------------------------------------------
         # The queues persist across mid-run spec swaps (a policy
@@ -547,6 +624,56 @@ class FluidNetwork:
             dual_shares,
         ) = _compile_mechanisms(self._link_specs, None, frozenset())
 
+        use_kernels = kernels.step_kernels_enabled()
+
+        def _pack_mechanisms():
+            """Lower the compiled mechanism lists to the dense arrays
+            the fused kernel iterates (one row per mechanism, float
+            target masks over paths). Re-run after every spec swap."""
+            empty_mask = np.zeros((0, num_paths))
+            pol = (
+                np.array([t[0] for t in policers], dtype=np.int64),
+                np.array([t[1] for t in policers]),
+                np.array([t[2] for t in policers]),
+                np.stack([t[4] for t in policers])
+                if policers
+                else empty_mask,
+            )
+            aqm = (
+                np.array([t[0] for t in aqms], dtype=np.int64),
+                np.array([t[1] for t in aqms]),
+                np.array([t[2] for t in aqms]),
+                np.array([t[3] for t in aqms]),
+                np.stack([t[5] for t in aqms]) if aqms else empty_mask,
+            )
+            sh = (
+                np.array([t[0] for t in shapers], dtype=np.int64),
+                np.array([t[1] for t in shapers]),
+                np.array([t[2] for t in shapers]),
+                np.array([t[3] for t in shapers]),
+                np.array([t[4] for t in shapers]),
+                np.stack([t[5] for t in shapers])
+                if shapers
+                else empty_mask,
+            )
+            wt = (
+                np.array([t[0] for t in weighted], dtype=np.int64),
+                np.array([t[1] for t in weighted]),
+                np.array([t[2] for t in weighted]),
+                np.array([t[3] for t in weighted]),
+                np.array([t[4] for t in weighted]),
+                np.array([t[5] for t in weighted]),
+                np.stack([t[6] for t in weighted])
+                if weighted
+                else empty_mask,
+            )
+            is_bypass = np.zeros(num_links, dtype=bool)
+            is_bypass[shaper_links] = True
+            return pol, aqm, sh, wt, is_bypass
+
+        if use_kernels:
+            k_pol, k_aqm, k_sh, k_wt, k_bypass = _pack_mechanisms()
+
         # --- slot / TCP state ------------------------------------------
         slots = SlotArrays(self._workloads, path_ids, rng)
         num_slots = len(slots)
@@ -578,6 +705,19 @@ class FluidNetwork:
         burst_dirty = False
         srtt = None
         srtt_gain = min(dt / SRTT_TIME_CONSTANT, 1.0)
+        if use_kernels:
+            # The fused kernel keeps all per-step state in
+            # preallocated arrays (no allocation inside the loop).
+            srtt = np.zeros(num_paths)
+            srtt_init = True
+            frac_dirty = np.zeros(num_links, dtype=bool)
+            drop_acc = np.zeros((num_links, num_paths))
+            row_dropped = np.zeros(num_links, dtype=bool)
+            send = np.zeros(num_slots)
+            rtt_slot = np.zeros(num_slots)
+            path_send = np.zeros(num_paths)
+            total_in = np.zeros(num_links)
+            completed = np.zeros(num_slots, dtype=bool)
         jitter_block = None
         jitter_pos = _JITTER_BLOCK_STEPS
         jitter_cv = self._send_jitter_cv
@@ -640,6 +780,10 @@ class FluidNetwork:
                         queue[l] = 0.0
                 self._link_specs = session._pending_specs
                 session._pending_specs = None
+                if use_kernels:
+                    k_pol, k_aqm, k_sh, k_wt, k_bypass = (
+                        _pack_mechanisms()
+                    )
             now = step * dt
             measuring = step >= warmup_steps
 
@@ -662,6 +806,112 @@ class FluidNetwork:
             jit_dt = jitter_block[jitter_pos]
             jitter_pos += 1
 
+            # 2. Start pending flows (hoisted above the RTT update,
+            #    which consumes no RNG and shares no state with the
+            #    scan — the stream and results are unchanged). Shared
+            #    by both step drivers.
+            if now >= next_start_min:
+                startable = (slots.remaining <= 0.0) & (
+                    slots.next_start <= now
+                )
+                idx = startable.nonzero()[0]
+                slots.start_flows(idx, rng)
+                tcp.reset(idx)
+                idle = slots.remaining <= 0.0
+                next_start_min = (
+                    float(slots.next_start[idle].min())
+                    if np.count_nonzero(idle)
+                    else np.inf
+                )
+
+            # Clear the previous step's loss attribution (shared).
+            if smooth_dirty:
+                path_smooth[:] = 0.0
+                smooth_dirty = False
+            if burst_dirty:
+                path_burst[:] = 0.0
+                slot_burst[:] = 0.0
+                burst_dirty = False
+
+            if use_kernels:
+                # Fused driver: one kernel call advances steps 1-4,
+                # the burst-placement RNG draw runs between halves,
+                # and a second call advances steps 5-6 (loss
+                # application, TCP, completions, accounting).
+                sf, bf = kernels.fluid_step_pre(
+                    srtt_init, measuring, srtt_gain,
+                    hop_link, path_len, base_rtt,
+                    inv_capacity, cap_dt, buffers, k_bypass,
+                    k_pol[0], k_pol[1], k_pol[2], k_pol[3], tokens,
+                    k_aqm[0], k_aqm[1], k_aqm[2], k_aqm[3], k_aqm[4],
+                    k_sh[0], k_sh[1], k_sh[2], k_sh[3], k_sh[4],
+                    k_sh[5],
+                    k_wt[0], k_wt[1], k_wt[2], k_wt[3], k_wt[4],
+                    k_wt[5], k_wt[6],
+                    queue, shaper_tq, shaper_oq,
+                    spath, slots.rtt_factor, tcp.cwnd,
+                    slots.remaining, jit_dt,
+                    srtt, path_smooth, path_burst,
+                    arrivals, drop_frac, frac_dirty, drop_acc,
+                    row_dropped,
+                    send, rtt_slot, path_send, total_in,
+                    rtt_acc, link_drop_acc,
+                )
+                srtt_init = False
+                smooth_dirty = bool(sf)
+                burst_dirty = bool(bf)
+                if burst_dirty:
+                    _allocate_bursts(
+                        rng, path_burst, path_send, slots_of_path,
+                        send, slot_burst,
+                    )
+                n_comp = kernels.fluid_step_post(
+                    now, measuring, smooth_dirty or burst_dirty,
+                    burst_dirty,
+                    spath, send, rtt_slot, path_smooth, slot_burst,
+                    slots.remaining,
+                    tcp.is_cubic, tcp.cwnd, tcp.ssthresh,
+                    tcp.last_loss_time, tcp.w_max, tcp.epoch_start,
+                    tcp.epoch_k, tcp.pending_due, tcp.pending_lost,
+                    tcp.pending_sent,
+                    completed,
+                    slot_sent_acc, slot_lost_acc, arrivals,
+                    link_arr_acc,
+                )
+                if n_comp:
+                    idx = completed.nonzero()[0]
+                    slots.complete_flows(idx, now, rng)
+                    next_start_min = min(
+                        next_start_min,
+                        float(slots.next_start[idx].min()),
+                    )
+                step += 1
+                if measuring and (
+                    step - warmup_steps
+                ) % steps_per_interval == 0:
+                    yield (
+                        np.bincount(
+                            spath,
+                            weights=slot_sent_acc,
+                            minlength=num_paths,
+                        ),
+                        np.bincount(
+                            spath,
+                            weights=slot_lost_acc,
+                            minlength=num_paths,
+                        ),
+                        rtt_acc / steps_per_interval,
+                        link_arr_acc @ class_onehot,
+                        link_drop_acc @ class_onehot,
+                        queue + shaper_tq + shaper_oq,
+                    )
+                    slot_sent_acc[:] = 0.0
+                    slot_lost_acc[:] = 0.0
+                    rtt_acc[:] = 0.0
+                    link_arr_acc[:] = 0.0
+                    link_drop_acc[:] = 0.0
+                continue
+
             # 1. Effective RTTs: queueing delay along the path on top
             #    of the base, smoothed per path (EWMA, time constant
             #    SRTT_TC) — responding to the instantaneous queue
@@ -680,20 +930,7 @@ class FluidNetwork:
             if measuring:
                 rtt_acc += instant
 
-            # 2. Start pending flows; compute per-slot offers.
-            if now >= next_start_min:
-                startable = (slots.remaining <= 0.0) & (
-                    slots.next_start <= now
-                )
-                idx = startable.nonzero()[0]
-                slots.start_flows(idx, rng)
-                tcp.reset(idx)
-                idle = slots.remaining <= 0.0
-                next_start_min = (
-                    float(slots.next_start[idle].min())
-                    if np.count_nonzero(idle)
-                    else np.inf
-                )
+            # 2b. Per-slot offers.
             rtt_slot = srtt[spath] * slots.rtt_factor
             np.maximum(rtt_slot, 1e-3, out=rtt_slot)
             send = tcp.cwnd * jit_dt / rtt_slot
@@ -730,13 +967,6 @@ class FluidNetwork:
             #    (droptail overflow) are concentrated on a single
             #    flow — keeping flow sawtooths independent, which
             #    sets the realistic loss-event frequency.
-            if smooth_dirty:
-                path_smooth[:] = 0.0
-                smooth_dirty = False
-            if burst_dirty:
-                path_burst[:] = 0.0
-                slot_burst[:] = 0.0
-                burst_dirty = False
             drop_rows: Dict[int, np.ndarray] = {}
             queue_in = total_in  # adjusted in place below
             for l, rate_dt, bucket, tmask, tmask_f in policers:
@@ -863,27 +1093,10 @@ class FluidNetwork:
             #    to the next only when the burst exceeds the flow's
             #    traffic.
             if burst_dirty:
-                for p in range(num_paths):
-                    burst = min(path_burst[p], path_send[p])
-                    if burst <= 0.0:
-                        continue
-                    members = slots_of_path[p]
-                    weights = send[members]
-                    present = weights > 0.0
-                    if not present.any():
-                        continue
-                    members = members[present]
-                    weights = weights[present]
-                    # Weighted order without replacement via Gumbel
-                    # keys (Efraimidis–Spirakis): same distribution
-                    # as repeated weighted draws, one RNG call.
-                    u = rng.random(len(members))
-                    order = (np.log(-np.log(u)) - np.log(weights)).argsort()
-                    ordered = weights[order]
-                    ahead = ordered.cumsum() - ordered
-                    slot_burst[members[order]] = np.minimum(
-                        ordered, np.maximum(burst - ahead, 0.0)
-                    )
+                _allocate_bursts(
+                    rng, path_burst, path_send, slots_of_path,
+                    send, slot_burst,
+                )
 
             # 6. TCP reactions, flow completion, path accounting.
             if smooth_dirty or burst_dirty:

@@ -52,9 +52,11 @@ from repro.core.network import Network
 from repro.core.pathsets import PathSet
 from repro.core.slices import build_slice_batch
 from repro.exceptions import MeasurementError
+from repro.fluid import kernels as _kernels
 from repro.measurement.normalize import (
     DEFAULT_LOSS_THRESHOLD,
     PAIR_POPCOUNT_BLOCK as _PAIR_BLOCK,
+    _POPCOUNT,
     _popcount_rows,
     batch_slice_observations,
 )
@@ -363,20 +365,36 @@ class SlidingWindowStats:
             tail = b1 * 8 - hi
             num_pairs = int(self._pair_a_stream.size)
             counts = np.empty(num_pairs, dtype=np.int64)
-            # Blocked over pairs: the gathered (block, span_bytes)
-            # temporaries stay bounded however many sharing pairs
-            # the topology has.
-            for plo in range(0, num_pairs, _PAIR_BLOCK):
-                phi = min(plo + _PAIR_BLOCK, num_pairs)
-                joint = (
-                    self._packed[self._pair_a_stream[plo:phi], b0:b1]
-                    & self._packed[self._pair_b_stream[plo:phi], b0:b1]
+            if _kernels.step_kernels_enabled():
+                # Fused gather-AND-popcount over the byte span: no
+                # (pairs, span_bytes) temporary at all. Integer-
+                # exact, bitwise-identical to the blocked route.
+                _kernels.pair_popcount_span(
+                    self._packed,
+                    self._pair_a_stream,
+                    self._pair_b_stream,
+                    b0,
+                    b1,
+                    0xFF >> head if head else 0xFF,
+                    (0xFF << tail) & 0xFF if tail else 0xFF,
+                    _POPCOUNT,
+                    counts,
                 )
-                if head:
-                    joint[:, 0] &= 0xFF >> head
-                if tail:
-                    joint[:, -1] &= (0xFF << tail) & 0xFF
-                counts[plo:phi] = _popcount_rows(joint)
+            else:
+                # Blocked over pairs: the gathered (block,
+                # span_bytes) temporaries stay bounded however many
+                # sharing pairs the topology has.
+                for plo in range(0, num_pairs, _PAIR_BLOCK):
+                    phi = min(plo + _PAIR_BLOCK, num_pairs)
+                    joint = (
+                        self._packed[self._pair_a_stream[plo:phi], b0:b1]
+                        & self._packed[self._pair_b_stream[plo:phi], b0:b1]
+                    )
+                    if head:
+                        joint[:, 0] &= 0xFF >> head
+                    if tail:
+                        joint[:, -1] &= (0xFF << tail) & 0xFF
+                    counts[plo:phi] = _popcount_rows(joint)
         if len(self._span_cache) >= 4 * _WINDOW_CACHE_LIMIT:
             self._span_cache.pop(next(iter(self._span_cache)))
         self._span_cache[key] = counts

@@ -1,0 +1,28 @@
+"""Suite-wide fixtures.
+
+The tier-1 suite's golden and fp-identity contracts (scalar-engine
+goldens, batch==single bitwise equivalence, session==one-shot
+bit-identity) pin the *numpy* step loop's arithmetic. On a machine
+with numba installed the kernel module would default to the fused
+backend, whose results differ at fp tolerance — so every test runs
+with the backend pinned to numpy unless it opts in via
+``repro.fluid.kernels.use_backend`` (as the kernel-equivalence suite
+does). The environment variable is pinned too, so subprocess workers
+(sweep pools, subprocess-based tests) inherit the same backend.
+"""
+
+import os
+
+import pytest
+
+from repro.fluid import kernels
+
+
+@pytest.fixture(autouse=True)
+def _pin_numpy_kernel_backend(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+    prev = kernels.set_backend("numpy")
+    try:
+        yield
+    finally:
+        kernels.set_backend(prev)

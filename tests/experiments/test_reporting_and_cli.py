@@ -44,6 +44,41 @@ class TestCli:
         assert "figure4" in out
         assert "<l1>" in out
 
+    @staticmethod
+    def _info_field(out, label):
+        for line in out.splitlines():
+            if line.strip().startswith(label):
+                return line.split(label, 1)[1].strip()
+        raise AssertionError(f"no {label!r} line in:\n{out}")
+
+    def test_info_command_reports_backend(self, capsys):
+        from repro.fluid import kernels
+        from repro.substrate.registry import substrate_cache_tag
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        # The conftest pin makes the reported backend deterministic.
+        assert self._info_field(out, "active:") == "numpy"
+        assert self._info_field(out, "compiled:") == "no"
+        numba = self._info_field(out, "numba:")
+        assert (
+            numba != "not installed"
+            if kernels.NUMBA_AVAILABLE
+            else numba == "not installed"
+        )
+        assert substrate_cache_tag("fluid") in out
+        assert substrate_cache_tag("packet") in out
+
+    def test_info_command_tracks_backend_override(self, capsys):
+        from repro.fluid import kernels
+        from repro.fluid.engine import KERNEL_ENGINE_VERSION
+
+        with kernels.use_backend("python"):
+            assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert self._info_field(out, "active:") == "python"
+        assert KERNEL_ENGINE_VERSION in out
+
     def test_fig8_command_runs(self, capsys):
         code = main(
             [

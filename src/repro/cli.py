@@ -10,7 +10,11 @@ Commands:
 * ``sweep [--sets 1,2,…] --workers N [--cache DIR]
   [--batch-size B]`` — the Table 2 sweep fanned over a process pool
   with result caching; compatible points (rate-varying sets on a
-  batch-capable substrate) run as lockstep scenario batches.
+  batch-capable substrate) run as lockstep scenario batches. With
+  ``--adaptive [--budget N] [--resolution R]`` the command instead
+  localizes the policing-rate detection frontier by recursive
+  refinement (see :mod:`repro.experiments.adaptive`), spending a
+  fraction of the dense grid's scenario budget.
 * ``monitor`` — the streaming neutrality monitor: emulate in segment
   mode, emit rolling windowed verdicts, and timestamp
   differentiation onset/offset change points (``--onset T`` switches
@@ -173,11 +177,54 @@ def _cmd_topo_b(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_adaptive(args: argparse.Namespace) -> int:
+    from repro.experiments.adaptive import run_plane_frontier
+    from repro.experiments.reporting import render_adaptive_frontier
+
+    if args.resolution < 2:
+        print("--resolution must be >= 2", file=sys.stderr)
+        return 2
+    if args.budget is not None and args.budget < 1:
+        print("--budget must be >= 1", file=sys.stderr)
+        return 2
+    settings = EmulationSettings(
+        duration_seconds=args.duration, seed=args.seed
+    )
+    print(
+        f"Adaptive frontier search: {args.resolution} rate steps "
+        f"x 5 noise levels over {args.workers} worker(s)"
+        + (f", budget {args.budget}" if args.budget else "")
+        + "..."
+    )
+    result = run_plane_frontier(
+        settings,
+        rate_points=args.resolution + 1,
+        budget=args.budget,
+        workers=args.workers,
+        cache_dir=args.cache,
+        batch_size=args.batch_size,
+        substrate=args.substrate,
+    )
+    print(render_adaptive_frontier(result))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import render_sweep_summary
     from repro.experiments.sweep import SweepRunner
     from repro.experiments.topology_a import sweep_points
 
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.adaptive:
+        return _cmd_sweep_adaptive(args)
+    if args.budget is not None:
+        print("--budget requires --adaptive", file=sys.stderr)
+        return 2
     try:
         set_numbers = sorted(
             {int(s) for s in args.sets.split(",") if s.strip()}
@@ -188,12 +235,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     bad = [n for n in set_numbers if not 1 <= n <= 9]
     if bad or not set_numbers:
         print("--sets takes a comma list of set numbers 1-9", file=sys.stderr)
-        return 2
-    if args.workers < 1:
-        print("--workers must be >= 1", file=sys.stderr)
-        return 2
-    if args.batch_size is not None and args.batch_size < 1:
-        print("--batch-size must be >= 1", file=sys.stderr)
         return 2
     settings = EmulationSettings(
         duration_seconds=args.duration, seed=args.seed
@@ -383,6 +424,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="max points per scenario batch (default: auto; "
         "1 disables batching)",
+    )
+    sweep.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="adaptively localize the policing-rate detection "
+        "frontier instead of enumerating the Table 2 grid",
+    )
+    sweep.add_argument(
+        "--resolution",
+        type=int,
+        default=32,
+        help="adaptive mode: rate-axis steps of the dense grid the "
+        "frontier is localized against (default: 32)",
+    )
+    sweep.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="adaptive mode: max scenarios dispatched, cache hits "
+        "included (default: unbounded)",
     )
     sweep.add_argument("--duration", type=float, default=120.0)
     sweep.add_argument("--seed", type=int, default=1)

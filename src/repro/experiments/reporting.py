@@ -91,7 +91,37 @@ def render_sweep_summary(
             f"\ncache: {stats.cache_hits} hits, "
             f"{stats.cache_misses} misses, {stats.executed} executed"
         )
+        table += f"\ntiming: {stats.wall_seconds:.2f} s wall"
+        if stats.executed:
+            per_point = stats.executed_seconds / stats.executed
+            table += (
+                f", {stats.executed_seconds:.2f} s compute "
+                f"({per_point * 1e3:.0f} ms/point executed)"
+            )
     return table
+
+
+def render_adaptive_frontier(result) -> str:
+    """Frontier table of an :class:`~repro.experiments.adaptive.
+    AdaptiveResult`: one row per grid-step cell the boundary was
+    localized to (refined axes show the bracketing interval, scan
+    axes the level), plus the driver's summary lines."""
+    headers = [ax.name for ax in result.axes]
+    rows = []
+    for bounds in result.frontier_bounds():
+        row = []
+        for ax in result.axes:
+            lo, hi = bounds[ax.name]
+            row.append(
+                f"{lo:.6g}" if lo == hi else f"{lo:.6g}..{hi:.6g}"
+            )
+        rows.append(tuple(row))
+    table = (
+        format_table(headers, rows)
+        if rows
+        else "(no frontier cells — the lattice is label-uniform)"
+    )
+    return table + "\n" + result.summary()
 
 
 def render_ground_truth(report: TopologyBReport) -> str:

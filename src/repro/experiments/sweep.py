@@ -55,6 +55,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import time
 import warnings
 import zlib
 from dataclasses import dataclass, field
@@ -132,16 +133,20 @@ DEFAULT_BATCH_SIZE = 32
 def _execute_task(task: Tuple) -> Tuple:
     """Worker entry: one single point or one scenario batch.
 
-    Returns ``("ok", [(digest, result), ...])``; a failed *batch*
+    Returns ``("ok", [(digest, result, seconds), ...])`` — the
+    per-point compute time of a batch is its elapsed time split
+    evenly over its members (the lockstep program advances them
+    together, so no finer attribution exists). A failed *batch*
     returns ``("batch_error", [digest, ...], error_repr)`` so the
     parent can retry its members point-by-point (a failed single
     point raises, exactly like the pre-batching pool did). Only the
-    digest and the result payload cross the process boundary on the
-    way back.
+    digest, the result payload, and the timing cross the process
+    boundary on the way back.
     """
     if task[0] == "batch":
         _, batch_func, members = task
         digests = [digest for digest, _, _ in members]
+        start = time.perf_counter()
         try:
             results = batch_func(
                 seeds=[seed for _, seed, _ in members],
@@ -154,9 +159,15 @@ def _execute_task(task: Tuple) -> Tuple:
                 )
         except Exception as exc:  # retried singly by the parent
             return ("batch_error", digests, repr(exc))
-        return ("ok", list(zip(digests, results)))
+        share = (time.perf_counter() - start) / len(members)
+        return (
+            "ok",
+            [(d, r, share) for d, r in zip(digests, results)],
+        )
     _, func, kwargs, seed, digest = task
-    return ("ok", [(digest, func(seed=seed, **dict(kwargs)))])
+    start = time.perf_counter()
+    result = func(seed=seed, **dict(kwargs))
+    return ("ok", [(digest, result, time.perf_counter() - start)])
 
 
 @dataclass
@@ -171,6 +182,17 @@ class SweepStats:
     batched_points: int = 0
     #: Points re-run singly after their batch task failed.
     batch_retries: int = 0
+    #: Worker-side compute seconds per executed point key (a batched
+    #: point's share is its batch's elapsed time over the member
+    #: count); cache hits don't appear — they cost no compute.
+    point_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds of the whole :meth:`SweepRunner.run` call.
+    wall_seconds: float = 0.0
+
+    @property
+    def executed_seconds(self) -> float:
+        """Total worker-side compute seconds across executed points."""
+        return sum(self.point_seconds.values())
 
 
 class SweepRunner:
@@ -345,8 +367,10 @@ class SweepRunner:
         if len(set(keys)) != len(keys):
             raise ConfigurationError("sweep point keys must be unique")
         self.stats = SweepStats()  # per-run bookkeeping, as documented
+        run_start = time.perf_counter()
         by_digest: Dict[str, Any] = {}
         key_digest: Dict[str, str] = {}
+        digest_key: Dict[str, str] = {}
         pending: List[Tuple[SweepPoint, int, str]] = []
         pending_by_digest: Dict[str, Tuple[SweepPoint, int]] = {}
         for point in points:
@@ -357,6 +381,7 @@ class SweepRunner:
             )
             digest = point.spec_digest(seed, self.cache_salt)
             key_digest[point.key] = digest
+            digest_key[digest] = point.key
             cached = self._cache_load(digest)
             if cached is not None:
                 by_digest[digest] = cached
@@ -375,9 +400,12 @@ class SweepRunner:
                 retries: List[Tuple] = []
                 for outcome in outcomes:
                     if outcome[0] == "ok":
-                        for digest, result in outcome[1]:
+                        for digest, result, seconds in outcome[1]:
                             by_digest[digest] = result
                             self.stats.executed += 1
+                            self.stats.point_seconds[
+                                digest_key[digest]
+                            ] = seconds
                             self._cache_store(digest, result)
                     else:  # batch_error
                         _, digests, err = outcome
@@ -454,4 +482,5 @@ class SweepRunner:
                             )
                         )
 
+        self.stats.wall_seconds = time.perf_counter() - run_start
         return {key: by_digest[key_digest[key]] for key in keys}

@@ -266,6 +266,140 @@ def run_topology_b_batch(seeds, kwargs_list) -> List[TopologyBReport]:
     return reports
 
 
+def run_topology_b_rate_batch(
+    seeds, kwargs_list
+) -> List[TopologyBReport]:
+    """Batched executor for *rate-varying* topology-B points.
+
+    Unlike :func:`run_topology_b_batch` (repetitions of one rate),
+    members here may differ in ``policing_rate``: the multi-ISP
+    builder varies only link specs with the rate, so a frontier
+    sweep's wave of rates still advances as one lockstep scenario
+    batch over a shared topology/workload.
+    """
+    first = kwargs_list[0]
+    for kw in kwargs_list[1:]:
+        if {
+            k: v for k, v in kw.items() if k != "policing_rate"
+        } != {k: v for k, v in first.items() if k != "policing_rate"}:
+            # Guard against an incomplete batch_group key upstream.
+            raise ConfigurationError(
+                "rate-batched topology-B points must share settings "
+                "and substrate"
+            )
+    settings = first["settings"]
+    substrate = first.get("substrate", "fluid")
+    topo = build_multi_isp()
+    workloads = table3_workloads(topo)
+    batch = ScenarioBatch.compile(
+        topo.network,
+        topo.classes,
+        workloads,
+        [
+            build_multi_isp(
+                policing_rate=kw["policing_rate"]
+            ).link_specs
+            for kw in kwargs_list
+        ],
+        seeds,
+    )
+    emulations = run_scenario_batch(batch, settings, substrate)
+    reports = []
+    for seed, emulation in zip(seeds, emulations):
+        outcome = outcome_from_emulation(
+            topo.network,
+            topo.classes,
+            workloads,
+            emulation,
+            settings=settings.with_seed(seed),
+            ground_truth_links=POLICED_LINKS,
+            substrate=substrate,
+        )
+        reports.append(
+            _report_from_outcome(topo, outcome, settings.with_seed(seed))
+        )
+    return reports
+
+
+def topology_b_rate_point(
+    settings: EmulationSettings,
+    substrate: str = "fluid",
+):
+    """Factory for rate-lattice topology-B sweep points.
+
+    Keys match :func:`run_topology_b_sweep`'s first repetition
+    (``topoB/rate{r}/rep0``) with identical func/kwargs, so frontier
+    visits and dense repetition sweeps share cache digests — an
+    adaptive frontier run warms the rep-0 cache of a later dense
+    sweep and vice versa.
+    """
+    batchable = substrate_supports_batch(substrate)
+
+    def factory(values) -> SweepPoint:
+        rate = values["policing_rate"]
+        return SweepPoint(
+            key=f"topoB/rate{rate}/rep0",
+            func=run_topology_b_point,
+            kwargs={
+                "settings": settings,
+                "policing_rate": rate,
+                "substrate": substrate,
+            },
+            substrate=substrate,
+            batch_func=run_topology_b_rate_batch if batchable else None,
+            batch_group=(
+                f"topoB/frontier/{substrate}/{settings.fingerprint()}"
+                if batchable
+                else None
+            ),
+        )
+
+    return factory
+
+
+def run_topology_b_frontier(
+    rates: Tuple[float, ...],
+    settings: EmulationSettings = TOPOLOGY_B_SETTINGS,
+    budget: int = None,
+    workers: int = 1,
+    cache_dir: str = None,
+    substrate: str = "fluid",
+    batch_size: int = None,
+    refinable=None,
+):
+    """Localize the policing-rate detection threshold adaptively.
+
+    The frontier mode of the topology-B sweep: instead of emulating
+    every rate of a dense grid, run the coarse lattice and subdivide
+    only where Algorithm 1's verdict flips. Returns the
+    :class:`~repro.experiments.adaptive.AdaptiveResult`; its
+    ``results`` are ordinary :class:`TopologyBReport` values, cached
+    interchangeably with :func:`run_topology_b_sweep` repetitions.
+    """
+    from repro.experiments.adaptive import (
+        AdaptiveSweep,
+        GridAxis,
+        VerdictFlip,
+    )
+
+    runner = SweepRunner.for_settings(
+        settings,
+        workers=workers,
+        cache_dir=cache_dir,
+        batch_size=batch_size,
+    )
+    sweep = AdaptiveSweep(
+        runner,
+        (GridAxis("policing_rate", tuple(rates)),),
+        topology_b_rate_point(settings, substrate),
+        refinable
+        if refinable is not None
+        else VerdictFlip("outcome.verdict_non_neutral"),
+        budget=budget,
+    )
+    return sweep.run()
+
+
 def run_topology_b_sweep(
     repetitions: int = 4,
     settings: EmulationSettings = TOPOLOGY_B_SETTINGS,

@@ -353,6 +353,21 @@ def run_monitor_task_batch(seeds, kwargs_list) -> list:
     return outcomes
 
 
+def monitor_sweep_point(task: MonitorTask) -> SweepPoint:
+    """Lower one task to its sweep point (shared by the dense fleet
+    and the adaptive detection-delay search, so both key the cache
+    identically)."""
+    batchable = substrate_supports_batch(task.scenario.substrate)
+    return SweepPoint(
+        key=task.name,
+        func=run_monitor_task,
+        kwargs={"task": task},
+        substrate=task.scenario.substrate,
+        batch_func=run_monitor_task_batch if batchable else None,
+        batch_group=monitor_task_group(task) if batchable else None,
+    )
+
+
 class MonitorFleet:
     """Monitor many scenarios concurrently, with caching.
 
@@ -393,23 +408,54 @@ class MonitorFleet:
         self, tasks: Sequence[MonitorTask]
     ) -> Dict[str, MonitorOutcome]:
         """Run every task; returns ``{name: outcome}`` in task order."""
-        points = []
-        for task in tasks:
-            batchable = substrate_supports_batch(
-                task.scenario.substrate
-            )
-            points.append(
-                SweepPoint(
-                    key=task.name,
-                    func=run_monitor_task,
-                    kwargs={"task": task},
-                    substrate=task.scenario.substrate,
-                    batch_func=(
-                        run_monitor_task_batch if batchable else None
-                    ),
-                    batch_group=(
-                        monitor_task_group(task) if batchable else None
-                    ),
-                )
-            )
-        return self._runner.run(points)
+        return self._runner.run(
+            [monitor_sweep_point(task) for task in tasks]
+        )
+
+    def run_adaptive(
+        self,
+        axes,
+        task_factory,
+        refinable=None,
+        budget: Optional[int] = None,
+        coarse_step=None,
+    ):
+        """Localize detection-delay contours over a scenario lattice.
+
+        Args:
+            axes: :class:`~repro.experiments.adaptive.GridAxis`
+                lattice over scenario knobs.
+            task_factory: ``factory({axis: value}) -> MonitorTask``;
+                must produce batch-compatible tasks for the waves to
+                stay single pool dispatches, and the same task a
+                dense fleet over the lattice would run (shared cache
+                digests).
+            refinable: Cell labeling; defaults to
+                :class:`~repro.experiments.adaptive.
+                DetectionDelayContour` (refine where detectability —
+                or a delay band — flips between neighbours).
+            budget: Max monitored scenarios, cache hits included.
+            coarse_step: Initial lattice stride (see
+                :class:`~repro.experiments.adaptive.AdaptiveSweep`).
+
+        Returns:
+            The :class:`~repro.experiments.adaptive.AdaptiveResult`;
+            ``results`` values are ordinary
+            :class:`MonitorOutcome`\\ s.
+        """
+        from repro.experiments.adaptive import (
+            AdaptiveSweep,
+            DetectionDelayContour,
+        )
+
+        sweep = AdaptiveSweep(
+            self._runner,
+            axes,
+            lambda values: monitor_sweep_point(task_factory(values)),
+            refinable
+            if refinable is not None
+            else DetectionDelayContour(),
+            budget=budget,
+            coarse_step=coarse_step,
+        )
+        return sweep.run()

@@ -109,6 +109,35 @@ class ScenarioBatch:
     def __len__(self) -> int:
         return len(self.variants)
 
+    def subset(self, indices: Sequence[int]) -> "ScenarioBatch":
+        """A new batch holding the selected variants (with their
+        seeds/durations), sharing the already-normalized topology.
+
+        This is how refinement-wave callers form partial batches: an
+        adaptive sweep that compiled a full lattice batch can carve
+        out exactly the variants a wave revisits without
+        re-normalizing specs or re-validating the shared scenario.
+        """
+        idx = [int(i) for i in indices]
+        for i in idx:
+            if not 0 <= i < len(self.variants):
+                raise ConfigurationError(
+                    f"subset index {i} outside the "
+                    f"{len(self.variants)}-variant batch"
+                )
+        return ScenarioBatch(
+            net=self.net,
+            classes=self.classes,
+            workloads=self.workloads,
+            variants=tuple(self.variants[i] for i in idx),
+            seeds=tuple(self.seeds[i] for i in idx),
+            durations=(
+                None
+                if self.durations is None
+                else tuple(self.durations[i] for i in idx)
+            ),
+        )
+
 
 def substrate_supports_batch(substrate: str) -> bool:
     """Whether a registered substrate has a batched entry point."""
@@ -131,7 +160,10 @@ def run_scenario_batch(
     """
     backend = get_substrate(substrate)
     run_batch = getattr(backend, "run_batch", None)
-    if run_batch is not None:
+    # A one-variant batch (common at the tail of adaptive-refinement
+    # waves) has nothing to amortize: the plain single-run entry point
+    # skips the batch program's setup and is floating-point-identical.
+    if run_batch is not None and len(batch) > 1:
         return run_batch(
             batch.net,
             batch.classes,

@@ -200,3 +200,67 @@ class TestCli:
             ["fig8", "--set", "6", "--value", "33.0", "--duration", "30"]
         )
         assert code == 2
+
+    def test_sweep_summary_reports_timing(self, capsys):
+        code = main(["sweep", "--sets", "6", "--duration", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s wall" in out
+        assert "ms/point executed" in out
+
+    def test_sweep_adaptive_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--adaptive", "--resolution", "8",
+             "--budget", "20"]
+        )
+        assert args.adaptive
+        assert args.resolution == 8
+        assert args.budget == 20
+
+    def test_sweep_adaptive_runs(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--adaptive",
+                "--resolution", "4",
+                "--duration", "10",
+                "--seed", "3",
+                "--cache", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive sweep:" in out
+        assert "frontier" in out
+        assert "policing_rate" in out
+
+    def test_sweep_budget_requires_adaptive(self, capsys):
+        code = main(["sweep", "--sets", "6", "--budget", "10"])
+        assert code == 2
+        assert "--budget requires --adaptive" in capsys.readouterr().err
+
+    def test_sweep_adaptive_bad_resolution(self, capsys):
+        code = main(["sweep", "--adaptive", "--resolution", "1"])
+        assert code == 2
+        assert "--resolution" in capsys.readouterr().err
+
+    def test_sweep_adaptive_bad_budget(self, capsys):
+        code = main(["sweep", "--adaptive", "--budget", "0"])
+        assert code == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_sweep_adaptive_budget_below_coarse_pass(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--adaptive",
+                "--resolution", "4",
+                "--duration", "10",
+                "--budget", "5",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "coarse pass" in err
+        assert "Traceback" not in err

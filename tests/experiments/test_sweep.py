@@ -474,6 +474,43 @@ class TestBatching:
             SweepRunner(batch_size=0)
 
 
+class TestTiming:
+    def test_executed_points_are_timed(self):
+        runner = SweepRunner(base_seed=5)
+        runner.run(_points())
+        stats = runner.stats
+        assert set(stats.point_seconds) == {
+            p.key for p in _points()
+        }
+        assert all(s >= 0.0 for s in stats.point_seconds.values())
+        assert stats.wall_seconds > 0.0
+        assert stats.executed_seconds == pytest.approx(
+            sum(stats.point_seconds.values())
+        )
+        # Compute time is bounded by the (sequential) wall clock.
+        assert stats.executed_seconds <= stats.wall_seconds
+
+    def test_cache_hits_are_not_timed(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        SweepRunner(base_seed=5, cache_dir=cache).run(_points())
+        replay = SweepRunner(base_seed=5, cache_dir=cache)
+        replay.run(_points())
+        assert replay.stats.point_seconds == {}
+        assert replay.stats.executed_seconds == 0.0
+        # ...but the run still reports a wall clock.
+        assert replay.stats.wall_seconds > 0.0
+
+    def test_batch_elapsed_split_across_members(self):
+        """A batch's elapsed time is attributed evenly to its
+        members, so per-point accounting stays comparable between
+        batched and single execution."""
+        runner = SweepRunner(base_seed=5)
+        runner.run(_batched_points())
+        shares = runner.stats.point_seconds
+        assert len(shares) == 3
+        assert len(set(shares.values())) == 1  # one equal split
+
+
 class TestTopologyAWiring:
     def test_run_full_set_parallel_matches_sequential(self, tmp_path):
         """End-to-end: the Table 2 sweep through the real pipeline is

@@ -188,3 +188,80 @@ class TestMonitorFleet:
                 onset_interval=50,
                 offset_interval=40,
             )
+
+
+class TestAdaptiveFleet:
+    """MonitorFleet.run_adaptive: detection-delay contours over a
+    scenario lattice, cache-interchangeable with dense fleet runs."""
+
+    @staticmethod
+    def _factory():
+        policed = Scenario(
+            name="policed",
+            topology="dumbbell",
+            policy=DifferentiationPolicy(mechanism="policing"),
+            settings=QUICK,
+        )
+
+        def factory(values):
+            onset = int(values["onset"])
+            return MonitorTask(
+                name=f"onset{onset}",
+                scenario=policed,
+                chunk_intervals=25,
+                window_intervals=75,
+                onset_interval=onset,
+            )
+
+        return factory
+
+    #: Onset lattice: early onsets are detected before the stream
+    #: ends, the latest is not — the frontier is "how late can the
+    #: differentiation start and still be caught".
+    ONSETS = (25.0, 50.0, 75.0, 100.0, 125.0)
+
+    def test_detectability_frontier_localized(self, tmp_path):
+        from repro.experiments.adaptive import Cell, GridAxis
+
+        fleet = MonitorFleet(base_seed=1, cache_dir=str(tmp_path))
+        result = fleet.run_adaptive(
+            (GridAxis("onset", self.ONSETS),), self._factory()
+        )
+        # Detected at the early onsets, never at the latest one; the
+        # flip is localized to the last grid step (onset 100..125).
+        assert result.labels[(0,)] == 1
+        assert result.labels[(4,)] == 0
+        assert result.frontier == (Cell(origin=(3,), step=(1,)),)
+        # Bisection skipped onset 50 entirely.
+        assert (1,) not in result.labels
+        assert result.evaluated == 4
+        assert result.results["onset125"].detection_delay_intervals is None
+        assert result.results["onset100"].detection_delay_intervals is not None
+
+        # Dense fleet runs over the visited tasks replay the adaptive
+        # run's cache entries — shared keys, shared digests.
+        factory = self._factory()
+        fleet2 = MonitorFleet(base_seed=1, cache_dir=str(tmp_path))
+        outcomes = fleet2.run(
+            [factory({"onset": o}) for o in (25.0, 75.0, 100.0, 125.0)]
+        )
+        assert fleet2.stats.cache_hits == 4
+        assert fleet2.stats.executed == 0
+        for name, outcome in outcomes.items():
+            np.testing.assert_array_equal(
+                outcome.flagged, result.results[name].flagged
+            )
+
+        # The budget counts cache hits: a warm rerun follows the same
+        # trajectory, and a budget at the coarse pass drops the
+        # refinement loudly instead of silently truncating.
+        warm_fleet = MonitorFleet(base_seed=1, cache_dir=str(tmp_path))
+        with pytest.warns(RuntimeWarning, match="partial"):
+            partial = warm_fleet.run_adaptive(
+                (GridAxis("onset", self.ONSETS),),
+                self._factory(),
+                budget=2,
+            )
+        assert partial.budget_used == 2
+        assert partial.dropped
+        assert "PARTIAL" in partial.summary()

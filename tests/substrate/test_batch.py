@@ -176,3 +176,111 @@ class TestScenarioBatch:
         chunks = session.advance(5)
         assert all(c.start_interval == 10 for c in chunks)
         assert session.result(0).measurements.num_intervals == 15
+
+
+class TestSubset:
+    def _batch(self):
+        topo, workloads, variant = _fixture()
+        return topo, ScenarioBatch.compile(
+            topo.network,
+            topo.classes,
+            workloads,
+            [variant(0.2), variant(0.3), variant(0.45)],
+            seeds=[5, 6, 7],
+            durations=[2.0, 3.0, 4.0],
+        )
+
+    def test_selects_variants_seeds_durations(self):
+        _, batch = self._batch()
+        sub = batch.subset([2, 0])
+        assert len(sub) == 2
+        assert sub.seeds == (7, 5)
+        assert sub.durations == (4.0, 2.0)
+        assert sub.variants == (batch.variants[2], batch.variants[0])
+        # The shared scenario is reused, not re-normalized.
+        assert sub.net is batch.net
+        assert sub.workloads is batch.workloads
+
+    def test_no_durations_stays_none(self):
+        topo, workloads, variant = _fixture()
+        batch = ScenarioBatch.compile(
+            topo.network,
+            topo.classes,
+            workloads,
+            [variant(0.2), variant(0.3)],
+            seeds=[5, 6],
+        )
+        assert batch.subset([1]).durations is None
+
+    def test_out_of_range_index_rejected(self):
+        _, batch = self._batch()
+        with pytest.raises(ConfigurationError):
+            batch.subset([3])
+        with pytest.raises(ConfigurationError):
+            batch.subset([-1])
+
+    def test_subset_runs_identically_to_full_batch(self):
+        """The batched engines are variant-independent, so carving a
+        subset out of a compiled batch reproduces the full batch's
+        per-variant records exactly."""
+        _, batch = self._batch()
+        full = run_scenario_batch(batch, SETTINGS, "fluid")
+        part = run_scenario_batch(batch.subset([0, 2]), SETTINGS, "fluid")
+        for got, want in zip(part, (full[0], full[2])):
+            for pid in want.measurements.path_ids:
+                np.testing.assert_array_equal(
+                    got.measurements.record(pid).sent,
+                    want.measurements.record(pid).sent,
+                )
+                np.testing.assert_array_equal(
+                    got.measurements.record(pid).lost,
+                    want.measurements.record(pid).lost,
+                )
+
+
+class TestSingleVariantFastPath:
+    def test_one_variant_batch_skips_run_batch(self, monkeypatch):
+        """A one-variant batch (the tail of an adaptive refinement
+        wave) has nothing to amortize: it must go through the plain
+        single-run entry point, not the batch program."""
+        topo, workloads, variant = _fixture()
+        backend = get_substrate("fluid")
+
+        def exploding_run_batch(*args, **kwargs):
+            raise AssertionError(
+                "run_batch must not be used for B == 1"
+            )
+
+        monkeypatch.setattr(
+            backend, "run_batch", exploding_run_batch
+        )
+        single = ScenarioBatch.compile(
+            topo.network,
+            topo.classes,
+            workloads,
+            [variant(0.25)],
+            seeds=[3],
+        )
+        [result] = run_scenario_batch(single, SETTINGS, "fluid")
+        want = backend.run(
+            topo.network,
+            topo.classes,
+            single.variants[0],
+            workloads,
+            SETTINGS.with_seed(3),
+        )
+        for pid in want.measurements.path_ids:
+            np.testing.assert_array_equal(
+                result.measurements.record(pid).sent,
+                want.measurements.record(pid).sent,
+            )
+        # ...while a 2-variant batch does dispatch the capability.
+        pair = ScenarioBatch.compile(
+            topo.network,
+            topo.classes,
+            workloads,
+            [variant(0.25), variant(0.4)],
+            seeds=[3, 4],
+        )
+        with pytest.raises(AssertionError, match="B == 1"):
+            run_scenario_batch(pair, SETTINGS, "fluid")

@@ -11,6 +11,7 @@
 
 import numpy as np
 import pytest
+from _emit import emit
 from conftest import BENCH_SETTINGS, heading, run_once
 
 from repro.analysis.stats import format_table
@@ -59,6 +60,12 @@ def test_ablation_threshold_and_interval(benchmark, policing_outcome):
     ))
     verdicts = [v for *_, v in rows]
     assert all(verdicts), "verdict must be stable across the §6.5 grid"
+    emit(
+        benchmark,
+        "ablation/threshold-interval",
+        measured=sum(verdicts) / len(verdicts),
+        gate=1.0,
+    )
 
 
 def test_ablation_normalization(benchmark, policing_outcome):
@@ -84,6 +91,13 @@ def test_ablation_normalization(benchmark, policing_outcome):
     print(f"  sampled-mode unsolvability:  {sam_score:.3f}")
     assert exp_score > 0.045
     assert sam_score > 0.02
+    emit(
+        benchmark,
+        "ablation/normalization",
+        measured=exp_score,
+        gate=0.045,
+        sampled_unsolvability=sam_score,
+    )
 
 
 def test_ablation_decider(benchmark, policing_outcome):
@@ -109,3 +123,4 @@ def test_ablation_decider(benchmark, policing_outcome):
     assert default.identified == ((SHARED_LINK,),)
     assert fixed_low.identified == ((SHARED_LINK,),)
     assert fixed_high.identified == ()
+    emit(benchmark, "ablation/decider")

@@ -26,6 +26,7 @@ vs dense wall clock and scenario counts).
 import pickle
 import time
 
+from _emit import emit
 from conftest import BENCH_QUICK, heading, run_once
 
 from repro.analysis.stats import format_table
@@ -151,4 +152,11 @@ def test_adaptive_frontier_gate(benchmark, tmp_path):
     assert adaptive.dense_fraction <= DENSE_FRACTION_CEILING, (
         f"adaptive sweep spent {adaptive.dense_fraction:.1%} of the "
         f"dense budget (gate {DENSE_FRACTION_CEILING:.0%})"
+    )
+    emit(
+        benchmark,
+        "adaptive/frontier",
+        measured=adaptive.dense_fraction,
+        gate=DENSE_FRACTION_CEILING,
+        frontier_cells=len(adaptive.frontier),
     )

@@ -18,6 +18,7 @@ Asserted claims, per substrate:
 """
 
 import pytest
+from _emit import emit
 from conftest import (
     BENCH_CACHE,
     BENCH_SETTINGS,
@@ -120,3 +121,14 @@ def test_aqm_weighted_cross_substrate(benchmark):
             assert r["score"] > MIN_SEPARATION * max(
                 neutral["score"], 1e-4
             ), (substrate, mechanism, r["score"], neutral["score"])
+    emit(
+        benchmark,
+        "aqm/cross-substrate",
+        measured=min(
+            results[f"{s}/{m}"]["score"]
+            / max(results[f"{s}/neutral"]["score"], 1e-4)
+            for s in SUBSTRATES
+            for m in MECHANISMS
+        ),
+        gate=MIN_SEPARATION,
+    )

@@ -19,6 +19,7 @@ hot path is at least 5× faster.
 import time
 
 import pytest
+from _emit import emit
 from conftest import BENCH_QUICK, BENCH_SETTINGS, heading, run_once
 
 from repro.analysis.stats import format_table
@@ -80,6 +81,12 @@ def test_baseline_neutral_network(benchmark):
     # And the neutrality inference agrees the network is neutral.
     assert not outcome.verdict_non_neutral
     assert lsq.residual_norm < 1.0
+    emit(
+        benchmark,
+        "baseline/neutral",
+        measured=counts.get(SHARED_LINK, 0) / intervals,
+        gate=0.8,
+    )
 
 
 def test_baseline_differentiated_network(benchmark):
@@ -112,6 +119,12 @@ def test_baseline_differentiated_network(benchmark):
     print(f"  the neutrality inference instead reports: "
           f"{outcome.algorithm.identified}")
     assert outcome.algorithm.identified == ((SHARED_LINK,),)
+    emit(
+        benchmark,
+        "baseline/differentiated",
+        measured=private_blame,
+        gate=boolean.link_congestion[SHARED_LINK] * 0.5,
+    )
 
 
 def test_engine_vectorization_speedup(benchmark):
@@ -184,4 +197,10 @@ def test_engine_vectorization_speedup(benchmark):
     floor = 3.5 if BENCH_QUICK else 5.0
     assert speedup >= floor, (
         f"vectorization speedup regressed: {speedup:.1f}x (floor {floor}x)"
+    )
+    emit(
+        benchmark,
+        "baseline/engine-vectorization",
+        measured=speedup,
+        gate=floor,
     )

@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 import pytest
+from _emit import emit
 from conftest import BENCH_QUICK, heading, run_once
 
 from repro.analysis.stats import format_table
@@ -288,6 +289,7 @@ def test_batch_throughput_gate(benchmark):
         f"scenario-batch speedup regressed: {speedup:.1f}x "
         f"(floor {floor}x)"
     )
+    emit(benchmark, "batch/throughput", measured=speedup, gate=floor)
 
 
 def test_batched_sweep_cache_and_verdicts(tmp_path):

@@ -14,6 +14,7 @@
 
 import numpy as np
 import pytest
+from _emit import emit
 from conftest import BENCH_CACHE, BENCH_WORKERS, heading, run_once
 
 from repro.analysis.stats import boxplot_summary, format_table, series_summary
@@ -78,6 +79,13 @@ def test_fig10a_ground_truth(benchmark, reports):
     for lid in ("l13", "l18", "l3"):
         c1, c2 = result[lid]
         assert abs(c1 - c2) < 0.05, lid
+    emit(
+        benchmark,
+        "fig10a/ground-truth",
+        measured=min(result[lid][1] - result[lid][0]
+                     for lid in POLICED_LINKS),
+        gate=0.02,
+    )
 
 
 def test_fig10b_inferred_sequences(benchmark, reports):
@@ -139,6 +147,14 @@ def test_fig10b_inferred_sequences(benchmark, reports):
     assert np.mean(fp_rates) <= 1.0 / 3.0
     assert set(POLICED_LINKS) <= union_covered, union_covered
     assert np.mean(grans) < 4.0
+    emit(
+        benchmark,
+        "fig10b/sequences",
+        measured=float(np.mean(fn_rates)),
+        gate=0.5,
+        mean_fp=float(np.mean(fp_rates)),
+        mean_granularity=float(np.mean(grans)),
+    )
 
 
 def test_fig11_queue_occupancy(benchmark, reports):
@@ -158,3 +174,8 @@ def test_fig11_queue_occupancy(benchmark, reports):
     assert l13.max() > 0 and l14.max() > 0
     m13, m14 = l13.mean(), l14.mean()
     assert 0.2 < (m13 + 0.05) / (m14 + 0.05) < 5.0
+    emit(
+        benchmark,
+        "fig11/queue-occupancy",
+        measured=float((m13 + 0.05) / (m14 + 0.05)),
+    )

@@ -8,6 +8,7 @@ Paper claims reproduced here:
 """
 
 import pytest
+from _emit import emit
 from conftest import (
     BENCH_CACHE,
     BENCH_SETTINGS,
@@ -58,3 +59,12 @@ def test_fig8_neutral_sets(benchmark, set_number):
         # absolute terms.
         probs = list(outcome.path_congestion.values())
         assert max(probs) - min(probs) < 0.12, (set_number, value)
+    emit(
+        benchmark,
+        f"fig8/neutral-set{set_number}",
+        measured=max(
+            max(o.path_congestion.values()) - min(o.path_congestion.values())
+            for _, o in results
+        ),
+        gate=0.12,
+    )

@@ -14,6 +14,7 @@ uses them (``slots_for_size``).
 """
 
 import pytest
+from _emit import emit
 from conftest import (
     BENCH_CACHE,
     BENCH_SETTINGS,
@@ -72,4 +73,10 @@ def test_fig8_policing_sets(benchmark, set_number):
     # hard case for the fluid substrate; see EXPERIMENTS.md).
     assert detected >= len(results) - 1, (
         f"set {set_number}: only {detected}/{len(results)} detected"
+    )
+    emit(
+        benchmark,
+        f"fig8/policing-set{set_number}",
+        measured=detected,
+        gate=len(results) - 1,
     )

@@ -9,6 +9,7 @@ Paper claims reproduced here:
 """
 
 import pytest
+from _emit import emit
 from conftest import (
     BENCH_CACHE,
     BENCH_SETTINGS,
@@ -62,6 +63,12 @@ def test_fig8_shaping_sets(benchmark, set_number):
             assert outcome.quality.false_positive_rate == 0.0
             detected += 1
     assert detected >= len(results) - 1
+    emit(
+        benchmark,
+        f"fig8/shaping-set{set_number}",
+        measured=detected,
+        gate=len(results) - 1,
+    )
 
 
 def test_fig8_shaping_rate_sweep(benchmark):
@@ -85,3 +92,4 @@ def test_fig8_shaping_rate_sweep(benchmark):
         else:
             assert c2 > c1, value
             assert outcome.verdict_non_neutral, value
+    emit(benchmark, "fig8/shaping-rate-sweep")

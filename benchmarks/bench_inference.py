@@ -28,6 +28,7 @@ import time
 
 import numpy as np
 import pytest
+from _emit import emit
 from conftest import BENCH_QUICK, heading, run_once
 
 from repro.core.algorithm_reference import infer_reference
@@ -149,6 +150,12 @@ def test_inference_speedup_gate(benchmark):
         f"records→verdict speedup {speedup:.1f}x below the "
         f"{MIN_SPEEDUP:.0f}x gate"
     )
+    emit(
+        benchmark,
+        "inference/speedup",
+        measured=speedup,
+        gate=MIN_SPEEDUP,
+    )
 
 
 @pytest.mark.skipif(
@@ -200,3 +207,9 @@ def test_inference_scaling_table(benchmark):
     # one-time batch build; the sweep-shaped gate above is the ≥10×
     # criterion — here just require a clear win at scale).
     assert rows[-1][2] / rows[-1][3] >= 5.0
+    emit(
+        benchmark,
+        "inference/scaling",
+        measured=rows[-1][2] / rows[-1][3],
+        gate=5.0,
+    )

@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 from conftest import BENCH_QUICK, heading, run_once
+from _emit import emit
 
 from repro.analysis.stats import format_table
 from repro.fluid import kernels
@@ -133,6 +134,13 @@ def test_step_kernel_throughput_gate(benchmark):
             f"(numba not installed: {FUSED} backend validates semantics "
             f"only; the {STEP_FLOOR}x gate applies to the numba leg)"
         )
+    emit(
+        benchmark,
+        "kernels/step",
+        measured=speedup,
+        gate=STEP_FLOOR if GATED else None,
+        backend=FUSED,
+    )
 
 
 def test_grouped_gemm_gate(benchmark):
@@ -182,6 +190,8 @@ def test_grouped_gemm_gate(benchmark):
     assert speedup >= GEMM_FLOOR, (
         f"grouped GEMM {speedup:.2f}x < {GEMM_FLOOR}x floor"
     )
+    emit(benchmark, "kernels/grouped-gemm", measured=speedup,
+         gate=GEMM_FLOOR)
 
 
 def test_serve_fifo_kernel_bench(benchmark):
@@ -247,3 +257,10 @@ def test_serve_fifo_kernel_bench(benchmark):
             f"(numba not installed: gate ({SERVE_FLOOR}x) applies to "
             f"the numba leg)"
         )
+    emit(
+        benchmark,
+        "kernels/serve-fifo",
+        measured=speedup,
+        gate=SERVE_FLOOR if GATED else None,
+        backend=FUSED,
+    )

@@ -23,6 +23,7 @@ import tracemalloc
 
 import numpy as np
 from conftest import BENCH_QUICK, heading, run_once
+from _emit import emit
 
 from repro.core.sharding import infer_sharded
 from repro.experiments.runner import infer_from_measurements
@@ -127,3 +128,11 @@ def test_multi_isp_scale_gate(benchmark):
     # violation is covered by some identified sequence.
     identified_links = mono_alg.identified_links
     assert perf.non_neutral_links <= identified_links
+    emit(
+        benchmark,
+        "multi-isp/scale",
+        measured=peak_shard,
+        gate=SHARDED_BUDGET,
+        monolithic_peak_bytes=peak_mono,
+        paths=num_paths,
+    )

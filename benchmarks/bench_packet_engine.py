@@ -17,6 +17,7 @@ Two claims, mirroring ``bench_baseline.py``'s fluid-engine gate:
 import time
 
 from conftest import BENCH_QUICK, heading, run_once
+from _emit import emit
 
 from repro.analysis.stats import format_table
 from repro.core.classes import two_classes
@@ -153,4 +154,11 @@ def test_packet_engine_agreement_and_speedup(benchmark):
     assert vec_pkts >= (3 if BENCH_QUICK else 10) * 1e5
     assert speedup >= SPEEDUP_FLOOR, (
         f"packet vectorization speedup regressed: {speedup:.1f}x"
+    )
+    emit(
+        benchmark,
+        "packet-engine/speedup",
+        measured=speedup,
+        gate=SPEEDUP_FLOOR,
+        packets=vec_pkts,
     )

@@ -8,6 +8,7 @@ observations.
 
 import numpy as np
 import pytest
+from _emit import emit
 from conftest import heading
 
 from repro.core.algorithm import identify_non_neutral_exact
@@ -27,6 +28,7 @@ def test_scaling_star(benchmark, spokes):
     # Output stays sound at every size.
     for sigma in result.identified:
         assert set(sigma) & perf.non_neutral_links
+    emit(benchmark, f"scaling/star-{spokes}", paths=len(net.paths))
 
 
 @pytest.mark.parametrize("stubs", [4, 6, 8])
@@ -42,3 +44,4 @@ def test_scaling_mesh(benchmark, stubs):
         f"|L|={len(net.links)}, examined={len(result.systems)}, "
         f"identified={len(result.identified)}"
     )
+    emit(benchmark, f"scaling/mesh-{stubs}", paths=len(net.paths))

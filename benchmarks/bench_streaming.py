@@ -37,6 +37,7 @@ import time
 
 import numpy as np
 from conftest import BENCH_QUICK, heading, run_once
+from _emit import emit
 
 from repro.core.algorithm import DEFAULT_MIN_PATHSETS
 from repro.core.slices import (
@@ -181,6 +182,8 @@ def test_streaming_speedup_gate(benchmark):
         f"incremental window updates {speedup:.1f}x below the "
         f"{MIN_SPEEDUP:.0f}x gate"
     )
+    emit(benchmark, "streaming/speedup", measured=speedup,
+         gate=MIN_SPEEDUP)
 
 
 def test_onset_detection_latency_table(benchmark):
@@ -255,3 +258,10 @@ def test_onset_detection_latency_table(benchmark):
     for window, delay in rows:
         assert delay is not None, f"window {window}: onset missed"
         assert 0 < delay <= 250, f"window {window}: delay {delay}"
+    emit(
+        benchmark,
+        "streaming/onset-latency",
+        measured=max(delay for _, delay in rows),
+        gate=250,
+        delays={str(w): d for w, d in rows},
+    )

@@ -4,6 +4,7 @@ These benches print the encoded tables and time their construction
 (cheap, but keeps one bench per paper artifact).
 """
 
+from _emit import emit
 from conftest import heading, run_once
 
 from repro.analysis.stats import format_table
@@ -35,6 +36,7 @@ def test_table1_parameter_space(benchmark):
     ]
     print(format_table(["parameter", "values", "default"], rows))
     assert table.default_rtt_ms == 50.0
+    emit(benchmark, "tables/table1")
 
 
 def test_table2_experiment_sets(benchmark):
@@ -61,6 +63,7 @@ def test_table2_experiment_sets(benchmark):
                        rows))
     assert len(experiments) == 9
     assert sum(len(v) for v in experiments.values()) == 34
+    emit(benchmark, "tables/table2")
 
 
 def test_table3_host_groups(benchmark):
@@ -77,3 +80,4 @@ def test_table3_host_groups(benchmark):
     print(format_table(["host group", "parallel flows per path",
                         "measured"], rows))
     assert table["light"].flow_sizes_mb == (10000.0,)
+    emit(benchmark, "tables/table3")

@@ -5,6 +5,7 @@ System 4 construction, and Algorithm 1 in exact mode, timed on the
 figure networks and on the 24-link topology B graph.
 """
 
+from _emit import emit
 from conftest import heading
 
 from repro.core import (
@@ -21,6 +22,7 @@ def test_theorem1_check_speed(benchmark):
     fig = figure4()
     result = benchmark(check_observability, fig.performance)
     assert result.observable
+    emit(benchmark, "theory/theorem1")
 
 
 def test_slice_construction_speed(benchmark):
@@ -38,12 +40,14 @@ def test_slice_construction_speed(benchmark):
 
     systems = benchmark(build_all)
     assert sum(s is not None for s in systems) >= 9
+    emit(benchmark, "theory/slice-construction")
 
 
 def test_algorithm_exact_speed(benchmark):
     fig = figure4()
     result = benchmark(identify_non_neutral_exact, fig.performance)
     assert result.identified
+    emit(benchmark, "theory/algorithm-exact")
 
 
 def test_required_pathsets_speed(benchmark):
@@ -54,3 +58,4 @@ def test_required_pathsets_speed(benchmark):
     pathsets = benchmark(required_pathsets, net)
     heading(f"topology B requires {len(pathsets)} measured pathsets")
     assert len(pathsets) > 20
+    emit(benchmark, "theory/required-pathsets")

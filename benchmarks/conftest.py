@@ -14,6 +14,10 @@ Environment knobs (all optional):
   processes via :class:`repro.experiments.sweep.SweepRunner`.
 * ``REPRO_BENCH_CACHE=DIR`` — memoize sweep points on disk, so
   re-running a bench harness replays finished experiments.
+* ``REPRO_BENCH_MANIFEST=1`` (or the ``--manifest`` flag) — embed a
+  :class:`repro.telemetry.RunManifest` provenance record in every
+  bench's ``extra_info``, so each ``BENCH_*.json`` artifact states
+  what produced it (see ``_emit.py`` for the normalized schema).
 """
 
 import os
@@ -21,6 +25,22 @@ import os
 import pytest
 
 from repro.experiments.config import EmulationSettings
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--manifest",
+        action="store_true",
+        default=False,
+        help="embed RunManifest provenance in every bench artifact",
+    )
+
+
+def pytest_configure(config):
+    # The flag degrades to the env knob so _emit.py (and subprocesses)
+    # see one switch regardless of how the harness was invoked.
+    if config.getoption("--manifest"):
+        os.environ["REPRO_BENCH_MANIFEST"] = "1"
 
 #: Bench-wide emulation length. The paper runs 600 s; 240 s keeps the
 #: full harness under ~15 minutes while (per the calibration notes in

@@ -19,6 +19,17 @@ Commands:
   mode, emit rolling windowed verdicts, and timestamp
   differentiation onset/offset change points (``--onset T`` switches
   the policy on mid-run).
+* ``trace <trace.jsonl>`` — summarize an exported telemetry trace as
+  an aggregated span tree (count, cumulative and self time per span
+  path) preceded by any embedded run manifests.
+* ``metrics [metrics.json]`` — print an exported metrics registry as
+  an aligned table (defaults to the active ``REPRO_TELEMETRY``
+  export directory).
+
+With ``REPRO_TELEMETRY=<dir>`` set, every emulating command appends
+its spans to ``<dir>/trace.jsonl`` and, on exit, writes
+``<dir>/metrics.json`` plus a run-manifest record — so
+``repro trace``/``repro metrics`` can inspect the run afterwards.
 
 ``fig8``, ``topo-b``, ``sweep``, and ``monitor`` all accept
 ``--substrate {fluid,packet}`` to pick the emulation backend
@@ -33,6 +44,7 @@ never tracebacks.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -68,6 +80,66 @@ def _cmd_info(_: argparse.Namespace) -> int:
         # name:version — exactly the tag sweep cache entries carry,
         # so logs record which backend produced a cached result.
         print(f"  {name:<10} {substrate_cache_tag(name)}")
+    from repro import telemetry
+
+    print("telemetry:")
+    if telemetry.enabled():
+        state = (
+            f"enabled, exporting to {telemetry.export_dir()}"
+            if telemetry.trace_path() is not None
+            else "enabled (in-memory spans)"
+        )
+    else:
+        state = "disabled"
+    print(f"  state:           {state}")
+    print(
+        "  REPRO_TELEMETRY: "
+        f"{os.environ.get(telemetry.ENV_VAR) or '(unset)'}"
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_trace
+    from repro.telemetry.render import (
+        render_manifest,
+        render_span_tree,
+        split_records,
+    )
+
+    try:
+        records = load_trace(args.path)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    manifests, spans = split_records(records)
+    for manifest in manifests:
+        print(render_manifest(manifest), end="")
+    print(render_span_tree(spans, min_seconds=args.min_seconds), end="")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.telemetry.render import render_metrics_table
+
+    path = args.path
+    if path is None:
+        directory = telemetry.export_dir()
+        if directory is None:
+            print(
+                "error: no metrics file given and REPRO_TELEMETRY does "
+                "not name an export directory",
+                file=sys.stderr,
+            )
+            return 2
+        path = os.path.join(directory, telemetry.METRICS_FILENAME)
+    try:
+        data = telemetry.load_metrics(path)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    print(render_metrics_table(data), end="")
     return 0
 
 
@@ -499,7 +571,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     monitor.add_argument("--seed", type=int, default=3)
     _add_substrate_arg(monitor)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize an exported trace.jsonl as a span tree",
+    )
+    trace.add_argument("path", help="path to a trace.jsonl export")
+    trace.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.0,
+        help="hide span paths with less cumulative time (default: 0)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="print an exported metrics.json registry as a table",
+    )
+    metrics.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="metrics.json path (default: the REPRO_TELEMETRY "
+        "export directory)",
+    )
     return parser
+
+
+def _finalize_telemetry(args: argparse.Namespace) -> None:
+    """Flush telemetry artifacts for an exporting CLI run.
+
+    When ``REPRO_TELEMETRY`` names a directory, close the run by
+    folding kernel dispatch counts into the registry, appending a run
+    manifest to ``trace.jsonl``, and writing ``metrics.json`` beside
+    it.  In-memory mode and the read-only viewer commands
+    (``trace``/``metrics``) skip all of this.
+    """
+    from repro import telemetry
+
+    if not telemetry.enabled():
+        return
+    telemetry.snapshot_kernel_counts()
+    directory = telemetry.export_dir()
+    if directory is None:
+        return
+    manifest = telemetry.RunManifest.collect(
+        f"cli:{args.command}", seed=getattr(args, "seed", None)
+    )
+    telemetry.write_manifest(manifest)
+    telemetry.get_registry().write_json(
+        os.path.join(directory, telemetry.METRICS_FILENAME)
+    )
+    telemetry.get_tracer().flush()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -511,15 +634,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "topo-b": _cmd_topo_b,
         "sweep": _cmd_sweep,
         "monitor": _cmd_monitor,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
     except ReproError as exc:
         # Configuration mistakes (unknown substrate/topology names,
         # invalid parameter combinations) are user errors, not
         # crashes: one clean line on stderr, exit code 2.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.command not in ("trace", "metrics"):
+        _finalize_telemetry(args)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - module entry

@@ -40,11 +40,13 @@ rather than return approximate verdicts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.algorithm import (
     DEFAULT_MIN_PATHSETS,
     AlgorithmResult,
@@ -168,72 +170,102 @@ def infer_sharded(
             rng=rng,
         )
 
+    tel = telemetry.enabled()
     index = net.path_index
     num_paths = index.num_paths
-    # σ → list of (global pair keys, estimates) contributions.
-    per_sigma: Dict[
-        LinkSeq, List[Tuple[np.ndarray, np.ndarray]]
-    ] = {}
-    for shard in plan.shards:
-        if len(shard.path_ids) < 2:
-            continue
-        sub = net.restricted_to_paths(shard.path_ids)
-        # Threshold 1: keep every σ group — line 10 applies to the
-        # *merged* counts, not the per-shard ones.
-        batch, _ = build_slice_batch(sub, 1)
-        if batch.num_systems == 0:
-            continue
-        _, y_single, y_pair_flat = batch_slice_observations(
-            measurements,
-            batch,
-            loss_threshold=settings.loss_threshold,
-            mode=settings.normalization_mode,
-            rng=rng,
-            materialize=False,
-        )
-        estimates = batch_pair_estimates_arrays(
-            batch, y_single, y_pair_flat
-        )
-        # Shard→global row map is monotonic (both id-sorted), so
-        # a < b survives and keys stay row-major within a group.
-        to_global = index.rows(batch.index.path_ids)
-        keys = (
-            to_global[batch.pair_a].astype(np.int64) * num_paths
-            + to_global[batch.pair_b]
-        )
-        for s, sigma in enumerate(batch.sigmas):
-            lo, hi = batch.offsets[s], batch.offsets[s + 1]
-            per_sigma.setdefault(sigma, []).append(
-                (keys[lo:hi], estimates[lo:hi])
-            )
+    sharded_span = telemetry.span(
+        "infer.sharded", shards=len(plan.shards), paths=num_paths
+    )
+    sharded_span.__enter__()
+    try:
+        # σ → list of (global pair keys, estimates) contributions.
+        per_sigma: Dict[
+            LinkSeq, List[Tuple[np.ndarray, np.ndarray]]
+        ] = {}
+        for shard in plan.shards:
+            if len(shard.path_ids) < 2:
+                continue
+            with telemetry.span(
+                "infer.shard", shard=shard.name,
+                paths=len(shard.path_ids),
+            ) as shard_span:
+                sub = net.restricted_to_paths(shard.path_ids)
+                # Threshold 1: keep every σ group — line 10 applies to
+                # the *merged* counts, not the per-shard ones.
+                batch, _ = build_slice_batch(sub, 1)
+                if batch.num_systems == 0:
+                    continue
+                _, y_single, y_pair_flat = batch_slice_observations(
+                    measurements,
+                    batch,
+                    loss_threshold=settings.loss_threshold,
+                    mode=settings.normalization_mode,
+                    rng=rng,
+                    materialize=False,
+                )
+                estimates = batch_pair_estimates_arrays(
+                    batch, y_single, y_pair_flat
+                )
+                # Shard→global row map is monotonic (both id-sorted),
+                # so a < b survives and keys stay row-major within a
+                # group.
+                to_global = index.rows(batch.index.path_ids)
+                keys = (
+                    to_global[batch.pair_a].astype(np.int64) * num_paths
+                    + to_global[batch.pair_b]
+                )
+                for s, sigma in enumerate(batch.sigmas):
+                    lo, hi = batch.offsets[s], batch.offsets[s + 1]
+                    per_sigma.setdefault(sigma, []).append(
+                        (keys[lo:hi], estimates[lo:hi])
+                    )
+                shard_span.set(pairs=int(keys.size))
+                if tel:
+                    telemetry.get_registry().counter(
+                        "repro_sharded_pairs_total",
+                        "pathset pairs contributed per shard",
+                        shard=shard.name,
+                    ).inc(int(keys.size))
 
-    kept_sigmas: List[LinkSeq] = []
-    skipped: List[LinkSeq] = []
-    scores: Dict[LinkSeq, float] = {}
-    for sigma in sorted(per_sigma):
-        parts = per_sigma[sigma]
-        keys = np.concatenate([k for k, _ in parts])
-        ests = np.concatenate([e for _, e in parts])
-        # A pair sharing several links appears in every shard owning
-        # one of them — duplicates carry bitwise-identical estimates,
-        # so keeping the first of each key is exact.
-        uniq, first = np.unique(keys, return_index=True)
-        ests = ests[first]
-        members = int(
-            np.unique(
-                np.concatenate((uniq // num_paths, uniq % num_paths))
-            ).size
-        )
-        if members + int(uniq.size) < min_pathsets:
-            skipped.append(sigma)
-            continue
-        kept_sigmas.append(sigma)
-        clipped = np.maximum(ests, 0.0)
-        scores[sigma] = (
-            float(clipped.max() - clipped.min())
-            if uniq.size >= 2
-            else 0.0
-        )
+        merge_start = time.perf_counter()
+        kept_sigmas: List[LinkSeq] = []
+        skipped: List[LinkSeq] = []
+        scores: Dict[LinkSeq, float] = {}
+        with telemetry.span("infer.merge", sigmas=len(per_sigma)):
+            for sigma in sorted(per_sigma):
+                parts = per_sigma[sigma]
+                keys = np.concatenate([k for k, _ in parts])
+                ests = np.concatenate([e for _, e in parts])
+                # A pair sharing several links appears in every shard
+                # owning one of them — duplicates carry
+                # bitwise-identical estimates, so keeping the first of
+                # each key is exact.
+                uniq, first = np.unique(keys, return_index=True)
+                ests = ests[first]
+                members = int(
+                    np.unique(
+                        np.concatenate(
+                            (uniq // num_paths, uniq % num_paths)
+                        )
+                    ).size
+                )
+                if members + int(uniq.size) < min_pathsets:
+                    skipped.append(sigma)
+                    continue
+                kept_sigmas.append(sigma)
+                clipped = np.maximum(ests, 0.0)
+                scores[sigma] = (
+                    float(clipped.max() - clipped.min())
+                    if uniq.size >= 2
+                    else 0.0
+                )
+        if tel:
+            telemetry.get_registry().counter(
+                "repro_sharded_merge_seconds_total",
+                "cross-shard merge time",
+            ).inc(time.perf_counter() - merge_start)
+    finally:
+        sharded_span.__exit__(None, None, None)
 
     decider = make_cluster_decider(
         min_absolute=settings.decider_min_absolute,

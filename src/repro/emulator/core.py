@@ -45,6 +45,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.classes import ClassAssignment
 from repro.core.network import Network
 from repro.emulator.specs import PacketLinkSpec
@@ -474,7 +475,10 @@ class PacketNetwork:
         applied at interval boundaries without consuming randomness.
         """
         net = self._net
-        rng = np.random.default_rng(self._seed)
+        # The session wraps the generator in a counting proxy when
+        # telemetry is on (a pure pass-through: the bit stream, and
+        # therefore every record, is unchanged).
+        rng = session._wrap_rng(np.random.default_rng(self._seed))
         path_ids: List[str] = sorted(
             self._flow_plan
             if self._flow_plan is not None
@@ -1089,6 +1093,31 @@ class PacketSession:
         self._occ_cols: List[np.ndarray] = []
         self._rtt_cols: List[np.ndarray] = []
         self.intervals_done = 0
+        # Sampled once per session (the step_kernels_enabled()
+        # contract): disabled telemetry costs one boolean here and a
+        # branch per advance/swap.
+        self._tel = telemetry.enabled()
+        if self._tel:
+            reg = telemetry.get_registry()
+            self._tel_backend = _kernels.active_backend()
+            self._tel_intervals = reg.counter(
+                "repro_engine_intervals_total",
+                "measurement intervals emulated", substrate="packet",
+            )
+            self._tel_swaps = reg.counter(
+                "repro_engine_spec_swaps_total",
+                "mid-run link-spec swaps applied", substrate="packet",
+            )
+            self._tel_rng = reg.counter(
+                "repro_engine_rng_draws_total",
+                "RNG method calls made by the engine", substrate="packet",
+            )
+
+    def _wrap_rng(self, rng):
+        """Hook for the interval loop: count draws when telemetry is on."""
+        if self._tel:
+            return telemetry.CountingRNG(rng, self._tel_rng)
+        return rng
 
     def _bind(
         self, path_ids, link_ids, class_names, f_path, f_completed,
@@ -1117,26 +1146,40 @@ class PacketSession:
     ) -> None:
         """Swap the per-link specs at the next interval boundary."""
         self._pending_specs = self._sim._complete_specs(link_specs)
+        if self._tel:
+            self._tel_swaps.inc()
 
     def advance(self, num_intervals: int) -> RecordChunk:
         """Emulate ``num_intervals`` more measurement intervals."""
         if num_intervals < 1:
             raise EmulationError("must advance by at least one interval")
         start = self.intervals_done
+        span = (
+            telemetry.span(
+                "engine.advance", substrate="packet",
+                intervals=int(num_intervals), start=start,
+                backend=self._tel_backend,
+            )
+            if self._tel
+            else telemetry.NOOP_SPAN
+        )
         new_sent: List[np.ndarray] = []
         new_lost: List[np.ndarray] = []
-        for _ in range(int(num_intervals)):
-            sent, lost, arr, drop, occ, rtt = next(self._gen)
-            new_sent.append(sent)
-            new_lost.append(lost)
-            if self._keep_history:
-                self._sent_cols.append(sent)
-                self._lost_cols.append(lost)
-                self._arr_cols.append(arr)
-                self._drop_cols.append(drop)
-                self._occ_cols.append(occ)
-                self._rtt_cols.append(rtt)
+        with span:
+            for _ in range(int(num_intervals)):
+                sent, lost, arr, drop, occ, rtt = next(self._gen)
+                new_sent.append(sent)
+                new_lost.append(lost)
+                if self._keep_history:
+                    self._sent_cols.append(sent)
+                    self._lost_cols.append(lost)
+                    self._arr_cols.append(arr)
+                    self._drop_cols.append(drop)
+                    self._occ_cols.append(occ)
+                    self._rtt_cols.append(rtt)
         self.intervals_done = start + int(num_intervals)
+        if self._tel:
+            self._tel_intervals.inc(int(num_intervals))
         return chunk_from_columns(
             self._measured_ids,
             new_sent,

@@ -57,6 +57,7 @@ from typing import (
     Tuple,
 )
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.experiments.config import EmulationSettings
 from repro.experiments.runner import outcome_from_emulation
@@ -532,16 +533,41 @@ class AdaptiveSweep:
     ) -> None:
         """Dispatch one wave (single pool run) and fold in labels."""
         points = [self.point_at(c) for c in coords]
-        wave_results = self.runner.run(points)
-        stats = self.runner.stats
-        for c, point in zip(coords, points):
-            res = wave_results[point.key]
-            result.results[point.key] = res
-            result.keys[c] = point.key
-            result.labels[c] = int(
-                self.refinable.label(point.key, res)
+        with telemetry.span(
+            "sweep.wave",
+            wave=len(result.waves),
+            points=len(coords),
+            cells=refined_cells,
+            step=list(step),
+        ) as wave_span:
+            wave_results = self.runner.run(points)
+            stats = self.runner.stats
+            for c, point in zip(coords, points):
+                res = wave_results[point.key]
+                result.results[point.key] = res
+                result.keys[c] = point.key
+                result.labels[c] = int(
+                    self.refinable.label(point.key, res)
+                )
+            result.budget_used += len(coords)
+            wave_span.set(
+                cache_hits=stats.cache_hits,
+                executed=stats.executed,
+                budget_used=result.budget_used,
             )
-        result.budget_used += len(coords)
+        if telemetry.enabled():
+            reg = telemetry.get_registry()
+            reg.counter(
+                "repro_adaptive_waves_total", "refinement waves dispatched"
+            ).inc()
+            reg.counter(
+                "repro_adaptive_points_total",
+                "unique lattice points dispatched (budget spent)",
+            ).inc(len(coords))
+            reg.counter(
+                "repro_adaptive_cells_refined_total",
+                "disagreeing cells subdivided",
+            ).inc(refined_cells)
         result.waves += (
             WaveStats(
                 step=step,
@@ -646,6 +672,16 @@ class AdaptiveSweep:
                 RuntimeWarning,
                 stacklevel=2,
             )
+        if telemetry.enabled():
+            reg = telemetry.get_registry()
+            reg.counter(
+                "repro_adaptive_cells_dropped_total",
+                "disagreeing cells dropped on budget exhaustion",
+            ).inc(len(dropped))
+            reg.gauge(
+                "repro_adaptive_budget_used",
+                "unique lattice points spent by the last adaptive run",
+            ).set(result.budget_used)
         result.frontier = tuple(sorted(frontier))
         result.dropped = tuple(sorted(dropped))
         return result

@@ -17,6 +17,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry as _telemetry
 from repro.core.algorithm import (
     DEFAULT_MIN_PATHSETS,
     AlgorithmResult,
@@ -92,6 +93,7 @@ def infer_from_measurements(
     min_pathsets: int = DEFAULT_MIN_PATHSETS,
     rng: Optional[np.random.Generator] = None,
     materialize: bool = True,
+    telemetry: Optional["_telemetry.Tracer"] = None,
 ) -> Tuple[Dict[PathSet, float], AlgorithmResult]:
     """Records → verdict: the batched inference pipeline.
 
@@ -113,32 +115,46 @@ def infer_from_measurements(
             (both returned empty) — the memory-bounded ≥5k-path mode
             used by ``benchmarks/bench_multi_isp.py``; verdict and
             scores are unaffected.
+        telemetry: Tracer receiving the pipeline spans; ``None`` uses
+            the module default (a no-op unless opted in).
 
     Returns:
         ``(observations, algorithm_result)``.
     """
-    batch, skipped = build_slice_batch(net, min_pathsets)
-    observations, y_single, y_pair_flat = batch_slice_observations(
-        measurements,
-        batch,
-        loss_threshold=settings.loss_threshold,
-        mode=settings.normalization_mode,
-        rng=rng,
-        materialize=materialize,
+    tracer = (
+        telemetry if telemetry is not None else _telemetry.get_tracer()
     )
-    score_array = batch_unsolvability_arrays(batch, y_single, y_pair_flat)
-    scores: Dict[LinkSeq, float] = {
-        sigma: float(score)
-        for sigma, score in zip(batch.sigmas, score_array)
-    }
-    decider = make_cluster_decider(
-        min_absolute=settings.decider_min_absolute,
-        min_ratio=settings.decider_min_ratio,
-        definite=settings.decider_definite,
-    )
-    algorithm = identify_from_scores(
-        batch, skipped, scores, decider, include_systems=materialize
-    )
+    with tracer.span(
+        "infer", paths=len(net.path_ids), mode=settings.normalization_mode
+    ) as infer_span:
+        with tracer.span("infer.slices"):
+            batch, skipped = build_slice_batch(net, min_pathsets)
+        with tracer.span("infer.normalize", sigmas=len(batch.sigmas)):
+            observations, y_single, y_pair_flat = batch_slice_observations(
+                measurements,
+                batch,
+                loss_threshold=settings.loss_threshold,
+                mode=settings.normalization_mode,
+                rng=rng,
+                materialize=materialize,
+            )
+        with tracer.span("infer.score"):
+            score_array = batch_unsolvability_arrays(
+                batch, y_single, y_pair_flat
+            )
+            scores: Dict[LinkSeq, float] = {
+                sigma: float(score)
+                for sigma, score in zip(batch.sigmas, score_array)
+            }
+            decider = make_cluster_decider(
+                min_absolute=settings.decider_min_absolute,
+                min_ratio=settings.decider_min_ratio,
+                definite=settings.decider_definite,
+            )
+            algorithm = identify_from_scores(
+                batch, skipped, scores, decider, include_systems=materialize
+            )
+        infer_span.set(identified=len(algorithm.identified))
     return observations, algorithm
 
 
@@ -151,6 +167,7 @@ def outcome_from_emulation(
     ground_truth_links: Iterable[str] = None,
     min_pathsets: int = DEFAULT_MIN_PATHSETS,
     substrate: str = "fluid",
+    telemetry: Optional["_telemetry.Tracer"] = None,
 ) -> ExperimentOutcome:
     """The measure → infer → score tail of one experiment.
 
@@ -176,6 +193,7 @@ def outcome_from_emulation(
         settings=settings,
         min_pathsets=min_pathsets,
         rng=norm_rng,
+        telemetry=telemetry,
     )
     path_congestion = {
         pid: path_congestion_probability(
@@ -208,6 +226,7 @@ def run_experiment(
     ground_truth_links: Iterable[str] = None,
     min_pathsets: int = DEFAULT_MIN_PATHSETS,
     substrate: str = "fluid",
+    telemetry: Optional["_telemetry.Tracer"] = None,
 ) -> ExperimentOutcome:
     """Run one full experiment.
 
@@ -224,25 +243,37 @@ def run_experiment(
             quality scoring; omit to skip scoring.
         min_pathsets: Algorithm 1's line-10 threshold.
         substrate: Name of the emulation substrate to run on.
+        telemetry: Tracer receiving the experiment/inference spans;
+            ``None`` uses the module default (a no-op unless opted
+            in).
 
     Returns:
         The :class:`ExperimentOutcome`.
     """
-    backend = get_substrate(substrate)
-    emulation = backend.run(
-        net,
-        classes,
-        normalize_specs(link_specs),
-        workloads,
-        settings,
+    tracer = (
+        telemetry if telemetry is not None else _telemetry.get_tracer()
     )
-    return outcome_from_emulation(
-        net,
-        classes,
-        workloads,
-        emulation,
-        settings=settings,
-        ground_truth_links=ground_truth_links,
-        min_pathsets=min_pathsets,
-        substrate=substrate,
-    )
+    with tracer.span(
+        "experiment.run", substrate=substrate,
+        paths=len(net.path_ids), seed=settings.seed,
+    ):
+        backend = get_substrate(substrate)
+        with tracer.span("experiment.emulate", substrate=substrate):
+            emulation = backend.run(
+                net,
+                classes,
+                normalize_specs(link_specs),
+                workloads,
+                settings,
+            )
+        return outcome_from_emulation(
+            net,
+            classes,
+            workloads,
+            emulation,
+            settings=settings,
+            ground_truth_links=ground_truth_links,
+            min_pathsets=min_pathsets,
+            substrate=substrate,
+            telemetry=telemetry,
+        )

@@ -61,6 +61,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.substrate.registry import substrate_cache_tag
 
@@ -143,30 +144,45 @@ def _execute_task(task: Tuple) -> Tuple:
     digest, the result payload, and the timing cross the process
     boundary on the way back.
     """
+    # The trailing element of every task tuple is an optional
+    # telemetry.SpanContext: workers adopt it so their spans land in
+    # the shared trace.jsonl parented under the dispatching sweep.run
+    # span (None — the default — costs nothing).
+    with telemetry.activate(task[-1]):
+        return _execute_task_body(task)
+
+
+def _execute_task_body(task: Tuple) -> Tuple:
     if task[0] == "batch":
-        _, batch_func, members = task
-        digests = [digest for digest, _, _ in members]
+        _, batch_func, members, _ctx = task
+        digests = [digest for digest, _, _, _ in members]
         start = time.perf_counter()
-        try:
-            results = batch_func(
-                seeds=[seed for _, seed, _ in members],
-                kwargs_list=[dict(kwargs) for _, _, kwargs in members],
-            )
-            if len(results) != len(members):
-                raise RuntimeError(
-                    f"batch executor returned {len(results)} results "
-                    f"for {len(members)} points"
+        with telemetry.span(
+            "sweep.batch",
+            points=len(members),
+            keys=[key for _, _, _, key in members],
+        ):
+            try:
+                results = batch_func(
+                    seeds=[seed for _, seed, _, _ in members],
+                    kwargs_list=[dict(kwargs) for _, _, kwargs, _ in members],
                 )
-        except Exception as exc:  # retried singly by the parent
-            return ("batch_error", digests, repr(exc))
+                if len(results) != len(members):
+                    raise RuntimeError(
+                        f"batch executor returned {len(results)} results "
+                        f"for {len(members)} points"
+                    )
+            except Exception as exc:  # retried singly by the parent
+                return ("batch_error", digests, repr(exc))
         share = (time.perf_counter() - start) / len(members)
         return (
             "ok",
             [(d, r, share) for d, r in zip(digests, results)],
         )
-    _, func, kwargs, seed, digest = task
+    _, func, kwargs, seed, digest, key, _ctx = task
     start = time.perf_counter()
-    result = func(seed=seed, **dict(kwargs))
+    with telemetry.span("sweep.point", key=key, seed=seed):
+        result = func(seed=seed, **dict(kwargs))
     return ("ok", [(digest, result, time.perf_counter() - start)])
 
 
@@ -292,7 +308,9 @@ class SweepRunner:
     # ------------------------------------------------------------------
 
     def _build_tasks(
-        self, pending: List[Tuple[SweepPoint, int, str]]
+        self,
+        pending: List[Tuple[SweepPoint, int, str]],
+        ctx: Optional[telemetry.SpanContext] = None,
     ) -> List[Tuple]:
         """Group batchable pending points; single tasks for the rest.
 
@@ -341,16 +359,25 @@ class SweepRunner:
                         "batch",
                         chunk[0][0].batch_func,
                         [
-                            (digest, seed, dict(point.kwargs))
+                            (digest, seed, dict(point.kwargs), point.key)
                             for point, seed, digest in chunk
                         ],
+                        ctx,
                     )
                 )
                 self.stats.batches += 1
                 self.stats.batched_points += len(chunk)
         for point, seed, digest in singles:
             tasks.append(
-                ("single", point.func, dict(point.kwargs), seed, digest)
+                (
+                    "single",
+                    point.func,
+                    dict(point.kwargs),
+                    seed,
+                    digest,
+                    point.key,
+                    ctx,
+                )
             )
         return tasks
 
@@ -368,119 +395,191 @@ class SweepRunner:
             raise ConfigurationError("sweep point keys must be unique")
         self.stats = SweepStats()  # per-run bookkeeping, as documented
         run_start = time.perf_counter()
-        by_digest: Dict[str, Any] = {}
-        key_digest: Dict[str, str] = {}
-        digest_key: Dict[str, str] = {}
-        pending: List[Tuple[SweepPoint, int, str]] = []
-        pending_by_digest: Dict[str, Tuple[SweepPoint, int]] = {}
-        for point in points:
-            seed = (
-                point.seed
-                if point.seed is not None
-                else derive_seed(self.base_seed, point.key)
+        # Telemetry is consulted once per run (the kernels-style
+        # enablement contract); when disabled the span below is the
+        # shared no-op and nothing else is touched.
+        tel = telemetry.enabled()
+        point_hist = (
+            telemetry.get_registry().histogram(
+                "repro_sweep_point_seconds",
+                "worker-side compute seconds per executed sweep point",
             )
-            digest = point.spec_digest(seed, self.cache_salt)
-            key_digest[point.key] = digest
-            digest_key[digest] = point.key
-            cached = self._cache_load(digest)
-            if cached is not None:
-                by_digest[digest] = cached
-                self.stats.cache_hits += 1
-            else:
-                pending.append((point, seed, digest))
-                pending_by_digest[digest] = (point, seed)
-                self.stats.cache_misses += 1
+            if tel
+            else telemetry.NOOP_INSTRUMENT
+        )
+        with telemetry.span(
+            "sweep.run", points=len(points), workers=self.workers
+        ) as run_span:
+            span_ctx = telemetry.current_context() if tel else None
+            by_digest: Dict[str, Any] = {}
+            key_digest: Dict[str, str] = {}
+            digest_key: Dict[str, str] = {}
+            pending: List[Tuple[SweepPoint, int, str]] = []
+            pending_by_digest: Dict[str, Tuple[SweepPoint, int]] = {}
+            for point in points:
+                seed = (
+                    point.seed
+                    if point.seed is not None
+                    else derive_seed(self.base_seed, point.key)
+                )
+                digest = point.spec_digest(seed, self.cache_salt)
+                key_digest[point.key] = digest
+                digest_key[digest] = point.key
+                cached = self._cache_load(digest)
+                if cached is not None:
+                    by_digest[digest] = cached
+                    self.stats.cache_hits += 1
+                else:
+                    pending.append((point, seed, digest))
+                    pending_by_digest[digest] = (point, seed)
+                    self.stats.cache_misses += 1
 
-        if pending:
-            tasks = self._build_tasks(pending)
+            if pending:
+                tasks = self._build_tasks(pending, span_ctx)
 
-            def _collect(outcomes) -> List[Tuple]:
-                """Record ok-payloads; return retry tasks for failed
-                batches (executed point-by-point)."""
-                retries: List[Tuple] = []
-                for outcome in outcomes:
-                    if outcome[0] == "ok":
-                        for digest, result, seconds in outcome[1]:
-                            by_digest[digest] = result
-                            self.stats.executed += 1
-                            self.stats.point_seconds[
-                                digest_key[digest]
-                            ] = seconds
-                            self._cache_store(digest, result)
-                    else:  # batch_error
-                        _, digests, err = outcome
-                        self.stats.batch_retries += len(digests)
-                        # Loud, not fatal: the members re-run singly
-                        # with identical results, but a systematically
-                        # failing batch executor (losing the whole
-                        # speedup) must not be silent.
-                        warnings.warn(
-                            f"scenario batch of {len(digests)} points "
-                            f"failed ({err}); retrying each point "
-                            f"singly",
-                            RuntimeWarning,
-                            stacklevel=2,
+                def _collect(outcomes) -> List[Tuple]:
+                    """Record ok-payloads; return retry tasks for failed
+                    batches (executed point-by-point)."""
+                    retries: List[Tuple] = []
+                    for outcome in outcomes:
+                        if outcome[0] == "ok":
+                            for digest, result, seconds in outcome[1]:
+                                by_digest[digest] = result
+                                self.stats.executed += 1
+                                # Accumulate, never overwrite: a point
+                                # observed twice in one run (e.g. its
+                                # batch payload landed *and* it re-ran
+                                # singly after a batch retry) has spent
+                                # both slices of compute.
+                                key = digest_key[digest]
+                                self.stats.point_seconds[key] = (
+                                    self.stats.point_seconds.get(key, 0.0)
+                                    + seconds
+                                )
+                                point_hist.observe(seconds)
+                                self._cache_store(digest, result)
+                        else:  # batch_error
+                            _, digests, err = outcome
+                            self.stats.batch_retries += len(digests)
+                            # Loud, not fatal: the members re-run singly
+                            # with identical results, but a
+                            # systematically failing batch executor
+                            # (losing the whole speedup) must not be
+                            # silent.
+                            warnings.warn(
+                                f"scenario batch of {len(digests)} points "
+                                f"failed ({err}); retrying each point "
+                                f"singly",
+                                RuntimeWarning,
+                                stacklevel=2,
+                            )
+                            for digest in digests:
+                                point, seed = pending_by_digest[digest]
+                                retries.append(
+                                    (
+                                        "single",
+                                        point.func,
+                                        dict(point.kwargs),
+                                        seed,
+                                        digest,
+                                        digest_key[digest],
+                                        span_ctx,
+                                    )
+                                )
+                    return retries
+
+                if self.workers == 1 or (
+                    len(tasks) == 1 and tasks[0][0] == "single"
+                ):
+                    retries = _collect(map(_execute_task, tasks))
+                    if retries:
+                        _collect(map(_execute_task, retries))
+                else:
+                    import multiprocessing as mp
+                    import sys
+
+                    # fork is the cheap option where it is safe (Linux);
+                    # elsewhere fall back to the platform default (spawn)
+                    # — points are picklable by contract, so both work.
+                    method = "fork" if sys.platform == "linux" else None
+                    ctx = mp.get_context(method)
+                    has_batches = any(t[0] == "batch" for t in tasks)
+                    # Unordered streaming keeps every worker busy (slow
+                    # points no longer gate their map chunk); results are
+                    # re-keyed by digest, so completion order is
+                    # irrelevant to the returned mapping. Chunking only
+                    # helps swarms of light single points — batch tasks
+                    # are few and heavy, so they ship one at a time.
+                    chunksize = (
+                        1
+                        if has_batches
+                        else max(
+                            1,
+                            min(8, len(tasks) // (4 * self.workers) or 1),
                         )
-                        for digest in digests:
-                            point, seed = pending_by_digest[digest]
-                            retries.append(
-                                (
-                                    "single",
-                                    point.func,
-                                    dict(point.kwargs),
-                                    seed,
-                                    digest,
+                    )
+                    # Sized by pending *points*, not tasks: a failed
+                    # batch's members retry point-by-point on this same
+                    # pool, and must not be throttled to the batch count.
+                    with ctx.Pool(min(self.workers, len(pending))) as pool:
+                        retries = _collect(
+                            pool.imap_unordered(
+                                _execute_task, tasks, chunksize=chunksize
+                            )
+                        )
+                        if retries:
+                            # Same pool, second phase: the members of any
+                            # failed batch run as ordinary single points.
+                            _collect(
+                                pool.imap_unordered(
+                                    _execute_task, retries, chunksize=1
                                 )
                             )
-                return retries
 
-            if self.workers == 1 or (
-                len(tasks) == 1 and tasks[0][0] == "single"
-            ):
-                retries = _collect(map(_execute_task, tasks))
-                if retries:
-                    _collect(map(_execute_task, retries))
-            else:
-                import multiprocessing as mp
-                import sys
+            self.stats.wall_seconds = time.perf_counter() - run_start
+            run_span.set(
+                cache_hits=self.stats.cache_hits,
+                cache_misses=self.stats.cache_misses,
+                executed=self.stats.executed,
+                batches=self.stats.batches,
+                wall_seconds=self.stats.wall_seconds,
+            )
+            if tel:
+                self._fold_stats_into_registry()
+            return {key: by_digest[key_digest[key]] for key in keys}
 
-                # fork is the cheap option where it is safe (Linux);
-                # elsewhere fall back to the platform default (spawn)
-                # — points are picklable by contract, so both work.
-                method = "fork" if sys.platform == "linux" else None
-                ctx = mp.get_context(method)
-                has_batches = any(t[0] == "batch" for t in tasks)
-                # Unordered streaming keeps every worker busy (slow
-                # points no longer gate their map chunk); results are
-                # re-keyed by digest, so completion order is
-                # irrelevant to the returned mapping. Chunking only
-                # helps swarms of light single points — batch tasks
-                # are few and heavy, so they ship one at a time.
-                chunksize = (
-                    1
-                    if has_batches
-                    else max(
-                        1,
-                        min(8, len(tasks) // (4 * self.workers) or 1),
-                    )
-                )
-                # Sized by pending *points*, not tasks: a failed
-                # batch's members retry point-by-point on this same
-                # pool, and must not be throttled to the batch count.
-                with ctx.Pool(min(self.workers, len(pending))) as pool:
-                    retries = _collect(
-                        pool.imap_unordered(
-                            _execute_task, tasks, chunksize=chunksize
-                        )
-                    )
-                    if retries:
-                        # Same pool, second phase: the members of any
-                        # failed batch run as ordinary single points.
-                        _collect(
-                            pool.imap_unordered(
-                                _execute_task, retries, chunksize=1
-                            )
-                        )
+    def _fold_stats_into_registry(self) -> None:
+        """Mirror :class:`SweepStats` into the telemetry registry.
 
-        self.stats.wall_seconds = time.perf_counter() - run_start
-        return {key: by_digest[key_digest[key]] for key in keys}
+        The dataclass keeps its public API (callers and tests read it
+        directly); the registry gets the same counts so exported
+        ``metrics.json`` artifacts carry sweep health without anyone
+        threading ``SweepStats`` around.
+        """
+        reg = telemetry.get_registry()
+        stats = self.stats
+        reg.counter(
+            "repro_sweep_cache_hits_total", "sweep cache hits"
+        ).inc(stats.cache_hits)
+        reg.counter(
+            "repro_sweep_cache_misses_total", "sweep cache misses"
+        ).inc(stats.cache_misses)
+        reg.counter(
+            "repro_sweep_points_executed_total",
+            "sweep points actually computed (cache misses that ran)",
+        ).inc(stats.executed)
+        reg.counter(
+            "repro_sweep_batches_total", "scenario batches dispatched"
+        ).inc(stats.batches)
+        reg.counter(
+            "repro_sweep_batched_points_total",
+            "points covered by scenario batches",
+        ).inc(stats.batched_points)
+        reg.counter(
+            "repro_sweep_batch_retries_total",
+            "points re-run singly after a failed batch",
+        ).inc(stats.batch_retries)
+        reg.counter(
+            "repro_sweep_wall_seconds_total",
+            "wall-clock seconds across SweepRunner.run calls",
+        ).inc(stats.wall_seconds)

@@ -49,6 +49,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.classes import ClassAssignment
 from repro.core.network import Network
 from repro.exceptions import ConfigurationError, EmulationError
@@ -1096,6 +1097,32 @@ class FluidBatchSession:
         self._drop_cols: List[np.ndarray] = []
         self._occ_cols: List[np.ndarray] = []
         self.intervals_done = 0
+        # Same once-per-session telemetry contract as FluidSession;
+        # the per-scenario RNG proxies are pure pass-throughs, so all
+        # scenario streams stay bit-identical to single runs.
+        self._tel = telemetry.enabled()
+        if self._tel:
+            reg = telemetry.get_registry()
+            self._tel_backend = kernels.active_backend()
+            self._tel_intervals = reg.counter(
+                "repro_engine_intervals_total",
+                "measurement intervals emulated", substrate="fluid",
+            )
+            self._tel_steps = reg.counter(
+                "repro_engine_steps_total",
+                "engine steps emulated", substrate="fluid",
+            )
+            self._tel_swaps = reg.counter(
+                "repro_engine_spec_swaps_total",
+                "mid-run link-spec swaps applied", substrate="fluid",
+            )
+            rng_counter = reg.counter(
+                "repro_engine_rng_draws_total",
+                "RNG method calls made by the engine", substrate="fluid",
+            )
+            for b, rng in enumerate(sim._rngs):
+                if not isinstance(rng, telemetry.CountingRNG):
+                    sim._rngs[b] = telemetry.CountingRNG(rng, rng_counter)
 
     @property
     def num_scenarios(self) -> int:
@@ -1137,6 +1164,8 @@ class FluidBatchSession:
                 self._pending[b] = completed
         else:
             self._pending[scenario] = completed
+        if self._tel:
+            self._tel_swaps.inc()
 
     def advance(self, num_intervals: int) -> List[Optional[RecordChunk]]:
         """Emulate up to ``num_intervals`` more intervals per world.
@@ -1155,20 +1184,34 @@ class FluidBatchSession:
         if max_remaining <= 0:
             raise EmulationError("every scenario has finished")
         pulls = int(min(num_intervals, max_remaining))
+        tel_span = (
+            telemetry.span(
+                "engine.advance", substrate="fluid",
+                intervals=pulls, start=start,
+                scenarios=self.num_scenarios,
+                backend=self._tel_backend,
+            )
+            if self._tel
+            else telemetry.NOOP_SPAN
+        )
         new_sent: List[np.ndarray] = []
         new_lost: List[np.ndarray] = []
-        for _ in range(pulls):
-            sent, lost, rtt, arr, drop, occ = next(self._gen)
-            new_sent.append(sent)
-            new_lost.append(lost)
-            if self._keep_history:
-                self._sent_cols.append(sent)
-                self._lost_cols.append(lost)
-                self._rtt_cols.append(rtt)
-                self._arr_cols.append(arr)
-                self._drop_cols.append(drop)
-                self._occ_cols.append(occ)
+        with tel_span:
+            for _ in range(pulls):
+                sent, lost, rtt, arr, drop, occ = next(self._gen)
+                new_sent.append(sent)
+                new_lost.append(lost)
+                if self._keep_history:
+                    self._sent_cols.append(sent)
+                    self._lost_cols.append(lost)
+                    self._rtt_cols.append(rtt)
+                    self._arr_cols.append(arr)
+                    self._drop_cols.append(drop)
+                    self._occ_cols.append(occ)
         self.intervals_done = start + pulls
+        if self._tel:
+            self._tel_intervals.inc(pulls * self.num_scenarios)
+            self._tel_steps.inc(pulls * self._steps_per_interval)
         chunks: List[Optional[RecordChunk]] = []
         for b in range(self.num_scenarios):
             span = int(min(max(remaining[b], 0), pulls))

@@ -53,6 +53,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.classes import ClassAssignment
 from repro.core.network import Network
 from repro.exceptions import ConfigurationError, EmulationError
@@ -1210,6 +1211,33 @@ class FluidSession:
         self._drop_cols: List[np.ndarray] = []
         self._occ_cols: List[np.ndarray] = []
         self.intervals_done = 0
+        # Telemetry enablement is sampled once per session, mirroring
+        # the step_kernels_enabled() contract: the disabled path costs
+        # one boolean and nothing else. The RNG proxy forwards every
+        # call to the same Generator, so the draw stream (and all
+        # records) stay bit-identical with telemetry on or off.
+        self._tel = telemetry.enabled()
+        if self._tel:
+            reg = telemetry.get_registry()
+            self._tel_backend = kernels.active_backend()
+            self._tel_intervals = reg.counter(
+                "repro_engine_intervals_total",
+                "measurement intervals emulated", substrate="fluid",
+            )
+            self._tel_steps = reg.counter(
+                "repro_engine_steps_total",
+                "engine steps emulated", substrate="fluid",
+            )
+            self._tel_swaps = reg.counter(
+                "repro_engine_spec_swaps_total",
+                "mid-run link-spec swaps applied", substrate="fluid",
+            )
+            rng_counter = reg.counter(
+                "repro_engine_rng_draws_total",
+                "RNG method calls made by the engine", substrate="fluid",
+            )
+            if not isinstance(sim._rng, telemetry.CountingRNG):
+                sim._rng = telemetry.CountingRNG(sim._rng, rng_counter)
 
     def _bind(self, slots, spath) -> None:
         """Called by the loop once its state exists (first advance)."""
@@ -1228,6 +1256,8 @@ class FluidSession:
         links.
         """
         self._pending_specs = self._sim._complete_specs(link_specs)
+        if self._tel:
+            self._tel_swaps.inc()
 
     def advance(self, num_intervals: int) -> RecordChunk:
         """Emulate ``num_intervals`` more measurement intervals.
@@ -1240,20 +1270,35 @@ class FluidSession:
         if num_intervals < 1:
             raise EmulationError("must advance by at least one interval")
         start = self.intervals_done
+        span = (
+            telemetry.span(
+                "engine.advance", substrate="fluid",
+                intervals=int(num_intervals), start=start,
+                backend=self._tel_backend,
+            )
+            if self._tel
+            else telemetry.NOOP_SPAN
+        )
         new_sent: List[np.ndarray] = []
         new_lost: List[np.ndarray] = []
-        for _ in range(int(num_intervals)):
-            sent, lost, rtt, arr, drop, occ = next(self._gen)
-            new_sent.append(sent)
-            new_lost.append(lost)
-            if self._keep_history:
-                self._sent_cols.append(sent)
-                self._lost_cols.append(lost)
-                self._rtt_cols.append(rtt)
-                self._arr_cols.append(arr)
-                self._drop_cols.append(drop)
-                self._occ_cols.append(occ)
+        with span:
+            for _ in range(int(num_intervals)):
+                sent, lost, rtt, arr, drop, occ = next(self._gen)
+                new_sent.append(sent)
+                new_lost.append(lost)
+                if self._keep_history:
+                    self._sent_cols.append(sent)
+                    self._lost_cols.append(lost)
+                    self._rtt_cols.append(rtt)
+                    self._arr_cols.append(arr)
+                    self._drop_cols.append(drop)
+                    self._occ_cols.append(occ)
         self.intervals_done = start + int(num_intervals)
+        if self._tel:
+            self._tel_intervals.inc(int(num_intervals))
+            self._tel_steps.inc(
+                int(num_intervals) * self._steps_per_interval
+            )
         return chunk_from_columns(
             self._measured_ids,
             new_sent,

@@ -811,28 +811,56 @@ def _impl(name):
     )
 
 
+# Per-(kernel, backend) dispatch counts, kept as a plain dict so the
+# increment costs nanoseconds against kernels that cost microseconds.
+# The numpy backend never reaches these wrappers (engines run the
+# legacy vectorized loop), so its activity is visible through the
+# engine-session counters instead. Telemetry snapshots this dict into
+# the registry (``repro metrics`` / ``repro info``) on demand.
+_KERNEL_CALLS: dict = {}
+
+
+def kernel_call_counts() -> dict:
+    """Copy of the per-(kernel, backend) dispatch counts."""
+    return dict(_KERNEL_CALLS)
+
+
+def reset_kernel_call_counts() -> None:
+    _KERNEL_CALLS.clear()
+
+
 def fluid_step_pre(*args):
     """Dispatch :func:`_fluid_step_pre` on the active backend."""
+    key = ("fluid_step_pre", _backend)
+    _KERNEL_CALLS[key] = _KERNEL_CALLS.get(key, 0) + 1
     return _impl("fluid_step_pre")(*args)
 
 
 def fluid_step_post(*args):
     """Dispatch :func:`_fluid_step_post` on the active backend."""
+    key = ("fluid_step_post", _backend)
+    _KERNEL_CALLS[key] = _KERNEL_CALLS.get(key, 0) + 1
     return _impl("fluid_step_post")(*args)
 
 
 def serve_fifo(*args):
     """Dispatch :func:`_serve_fifo_kernel` on the active backend."""
+    key = ("serve_fifo", _backend)
+    _KERNEL_CALLS[key] = _KERNEL_CALLS.get(key, 0) + 1
     return _impl("serve_fifo")(*args)
 
 
 def greedy_admission(*args):
     """Dispatch :func:`_greedy_admission_kernel` on the active
     backend."""
+    key = ("greedy_admission", _backend)
+    _KERNEL_CALLS[key] = _KERNEL_CALLS.get(key, 0) + 1
     return _impl("greedy_admission")(*args)
 
 
 def pair_popcount_span(*args):
     """Dispatch :func:`_pair_popcount_span_kernel` on the active
     backend."""
+    key = ("pair_popcount_span", _backend)
+    _KERNEL_CALLS[key] = _KERNEL_CALLS.get(key, 0) + 1
     return _impl("pair_popcount_span")(*args)

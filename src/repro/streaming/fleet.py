@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.network import LinkSeq
 from repro.exceptions import ConfigurationError
 from repro.experiments.sweep import SweepPoint, SweepRunner, SweepStats
@@ -185,6 +186,14 @@ def _outcome_from_report(
 def run_monitor_task(seed: int, task: MonitorTask) -> MonitorOutcome:
     """Execute one monitoring task end to end (module-level, so the
     fleet can dispatch it through a process pool)."""
+    with telemetry.span(
+        "monitor.task", name=task.name,
+        substrate=task.scenario.substrate, seed=seed,
+    ):
+        return _run_monitor_task(seed, task)
+
+
+def _run_monitor_task(seed: int, task: MonitorTask) -> MonitorOutcome:
     from repro.experiments.runner import measured_subnetwork
 
     settings, compiled_on, start_specs, switches = _compile_task(
@@ -408,9 +417,10 @@ class MonitorFleet:
         self, tasks: Sequence[MonitorTask]
     ) -> Dict[str, MonitorOutcome]:
         """Run every task; returns ``{name: outcome}`` in task order."""
-        return self._runner.run(
-            [monitor_sweep_point(task) for task in tasks]
-        )
+        with telemetry.span("monitor.fleet", tasks=len(tasks)):
+            return self._runner.run(
+                [monitor_sweep_point(task) for task in tasks]
+            )
 
     def run_adaptive(
         self,

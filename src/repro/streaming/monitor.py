@@ -34,12 +34,14 @@ the per-window scores of one sequence.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import compress
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.algorithm import (
     DEFAULT_MIN_PATHSETS,
     AlgorithmResult,
@@ -271,6 +273,34 @@ class NeutralityMonitor:
         self._prune_cache: Dict[
             Tuple[LinkSeq, ...], Tuple[LinkSeq, ...]
         ] = {}
+        # Once-per-monitor telemetry sampling (the kernels contract):
+        # disabled costs one boolean and a branch per window.
+        self._tel = telemetry.enabled()
+        if self._tel:
+            reg = telemetry.get_registry()
+            self._tel_window_seconds = reg.histogram(
+                "repro_monitor_window_seconds",
+                "windowed Algorithm 2 + Algorithm 1 update latency",
+            )
+            self._tel_windows = reg.counter(
+                "repro_monitor_windows_total", "window verdicts emitted"
+            )
+            self._tel_uninformative = reg.counter(
+                "repro_monitor_uninformative_windows_total",
+                "windows with nothing to normalize",
+            )
+            self._tel_flips = {
+                kind: reg.counter(
+                    "repro_monitor_change_points_total",
+                    "CUSUM verdict flips by kind", kind=kind,
+                )
+                for kind in ("onset", "offset")
+            }
+            self._tel_cusum_max = reg.gauge(
+                "repro_monitor_cusum_stat_max",
+                "largest CUSUM statistic across sequences after the "
+                "last window",
+            )
 
     # ------------------------------------------------------------------
 
@@ -340,6 +370,26 @@ class NeutralityMonitor:
         return scores, result
 
     def _emit(self, end: int) -> WindowVerdict:
+        if not self._tel:
+            return self._emit_window(end)
+        start = time.perf_counter()
+        flips_before = len(self.change_points)
+        with telemetry.span("monitor.window", end=end) as span:
+            verdict = self._emit_window(end)
+            span.set(informative=verdict.informative)
+        self._tel_window_seconds.observe(time.perf_counter() - start)
+        self._tel_windows.inc()
+        if not verdict.informative:
+            self._tel_uninformative.inc()
+        for cp in self.change_points[flips_before:]:
+            self._tel_flips[cp.kind].inc()
+        if self._cusum:
+            self._tel_cusum_max.set(
+                max(st.stat for st in self._cusum.values())
+            )
+        return verdict
+
+    def _emit_window(self, end: int) -> WindowVerdict:
         lo = (
             0
             if self.window_intervals is None

@@ -264,3 +264,92 @@ class TestCli:
         err = capsys.readouterr().err
         assert "coarse pass" in err
         assert "Traceback" not in err
+
+
+class TestTelemetryCli:
+    def test_info_reports_disabled_state(self, capsys):
+        from repro import telemetry
+
+        assert not telemetry.enabled()  # conftest pin
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "state:           disabled" in out
+        assert "REPRO_TELEMETRY: (unset)" in out
+
+    def test_info_reports_export_directory(self, capsys, tmp_path):
+        import os
+
+        from repro import telemetry
+
+        telemetry.configure(
+            enabled=True,
+            trace_path=os.path.join(
+                str(tmp_path), telemetry.TRACE_FILENAME
+            ),
+        )
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert f"enabled, exporting to {tmp_path}" in out
+
+    def test_trace_command_renders_tree_and_manifest(
+        self, capsys, tmp_path
+    ):
+        from repro import telemetry
+
+        path = str(tmp_path / telemetry.TRACE_FILENAME)
+        telemetry.configure(enabled=True, trace_path=path)
+        telemetry.write_manifest(
+            telemetry.RunManifest.collect("cli-test", seed=4)
+        )
+        with telemetry.span("sweep.run"):
+            with telemetry.span("sweep.point"):
+                pass
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "manifest:" in out
+        assert "kind: cli-test" in out
+        assert "sweep.run" in out
+        assert "  sweep.point" in out  # nested under its parent
+
+    def test_trace_command_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error: cannot read" in capsys.readouterr().err
+
+    def test_metrics_command_renders_table(self, capsys, tmp_path):
+        from repro import telemetry
+
+        telemetry.get_registry().counter(
+            "repro_sweep_executed_total", substrate="fluid"
+        ).inc(2)
+        path = str(tmp_path / telemetry.METRICS_FILENAME)
+        telemetry.get_registry().write_json(path)
+        assert main(["metrics", path]) == 0
+        out = capsys.readouterr().out
+        assert "repro_sweep_executed_total{substrate=fluid}" in out
+
+    def test_metrics_command_without_path_or_export_dir(self, capsys):
+        assert main(["metrics"]) == 2
+        assert "REPRO_TELEMETRY" in capsys.readouterr().err
+
+    def test_exporting_run_finalizes_artifacts(self, capsys, tmp_path):
+        """REPRO_TELEMETRY=<dir> CLI contract: an emulating command
+        leaves trace.jsonl (spans + manifest) and metrics.json."""
+        import json
+        import os
+
+        from repro import telemetry
+
+        trace_path = os.path.join(
+            str(tmp_path), telemetry.TRACE_FILENAME
+        )
+        telemetry.configure(enabled=True, trace_path=trace_path)
+        assert main(["theory"]) == 0
+        capsys.readouterr()
+        records = telemetry.load_trace(trace_path)
+        manifests = [r["manifest"] for r in records if "manifest" in r]
+        assert manifests and manifests[-1]["kind"] == "cli:theory"
+        metrics_path = os.path.join(
+            str(tmp_path), telemetry.METRICS_FILENAME
+        )
+        with open(metrics_path, encoding="utf-8") as handle:
+            json.load(handle)  # valid JSON registry export

@@ -510,6 +510,57 @@ class TestTiming:
         assert len(shares) == 3
         assert len(set(shares.values())) == 1  # one equal split
 
+    def test_re_executed_digest_accumulates_timing(self, monkeypatch):
+        """Regression: a digest whose ok-payload lands more than once
+        in one run (e.g. its batch result arrived *and* it re-ran
+        singly in the batch-retry phase) used to keep only the *last*
+        execution's seconds, silently dropping the earlier compute
+        from ``point_seconds`` / ``executed_seconds``. Both slices
+        must accumulate."""
+        import repro.experiments.sweep as sweep_mod
+
+        real = sweep_mod._execute_task
+
+        def re_executed(task):
+            outcome = real(task)
+            if outcome[0] != "ok":
+                return outcome
+            payload = [(d, r, 1.0) for d, r, _ in outcome[1]]
+            return ("ok", payload * 2)  # same digest observed twice
+
+        monkeypatch.setattr(sweep_mod, "_execute_task", re_executed)
+        runner = SweepRunner(base_seed=5)
+        runner.run(_points((1.0,)))
+        assert runner.stats.executed == 2
+        assert runner.stats.point_seconds == {
+            "point/1.0": pytest.approx(2.0)
+        }
+        assert runner.stats.executed_seconds == pytest.approx(2.0)
+
+    def test_failed_batch_retry_records_retry_timing(self, monkeypatch):
+        """The batch-retry phase: a failed batch contributes no
+        timing, and each member's single re-run is charged exactly
+        once to its own key."""
+        import repro.experiments.sweep as sweep_mod
+
+        real = sweep_mod._execute_task
+
+        def pinned_time(task):
+            outcome = real(task)
+            if outcome[0] != "ok":
+                return outcome
+            return ("ok", [(d, r, 1.0) for d, r, _ in outcome[1]])
+
+        monkeypatch.setattr(sweep_mod, "_execute_task", pinned_time)
+        runner = SweepRunner(base_seed=5)
+        with pytest.warns(RuntimeWarning, match="always fails"):
+            runner.run(_batched_points(batch_func=_broken_batch))
+        assert runner.stats.batch_retries == 3
+        assert runner.stats.point_seconds == {
+            p.key: pytest.approx(1.0) for p in _points()
+        }
+        assert runner.stats.executed_seconds == pytest.approx(3.0)
+
 
 class TestTopologyAWiring:
     def test_run_full_set_parallel_matches_sequential(self, tmp_path):

@@ -80,6 +80,28 @@ def _cmd_info(_: argparse.Namespace) -> int:
         # name:version — exactly the tag sweep cache entries carry,
         # so logs record which backend produced a cached result.
         print(f"  {name:<10} {substrate_cache_tag(name)}")
+    from repro.parallel import (
+        ENV_WORKERS,
+        default_infer_workers,
+        resolve_shard_mode,
+        shm_available,
+    )
+
+    print("parallel:")
+    workers = default_infer_workers()
+    print(f"  infer workers:   {workers}" + (" (inline)" if workers == 1 else ""))
+    print(
+        f"  {ENV_WORKERS}: "
+        f"{os.environ.get(ENV_WORKERS) or '(unset)'}"
+    )
+    # auto resolves per run from the kernel backend: threads when the
+    # nogil numba kernels are active, processes + shm otherwise.
+    print(f"  shard mode:      {resolve_shard_mode('auto')} (auto)")
+    print(f"  cpus:            {os.cpu_count()}")
+    print(
+        "  shared memory:   "
+        + ("available" if shm_available() else "unavailable")
+    )
     from repro import telemetry
 
     print("telemetry:")
@@ -321,7 +343,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"Sweeping {len(points)} points over {args.workers} worker(s)..."
     )
-    results = runner.run(points)
+    try:
+        results = runner.run(points)
+    finally:
+        runner.close()
     stats = runner.stats
     batched_ok = stats.batched_points - stats.batch_retries
     singles = stats.executed - batched_ok
@@ -612,6 +637,7 @@ def _finalize_telemetry(args: argparse.Namespace) -> None:
     if not telemetry.enabled():
         return
     telemetry.snapshot_kernel_counts()
+    telemetry.snapshot_parallel_stats()
     directory = telemetry.export_dir()
     if directory is None:
         return

@@ -54,15 +54,15 @@ from repro.core.algorithm import (
 )
 from repro.core.network import LinkSeq, Network
 from repro.core.pathsets import PathSet
-from repro.core.slices import (
-    batch_pair_estimates_arrays,
-    build_slice_batch,
-)
 from repro.exceptions import ShardingError, UnknownLinkError
 from repro.experiments.config import EmulationSettings
 from repro.measurement.clustering import make_cluster_decider
-from repro.measurement.normalize import batch_slice_observations
 from repro.measurement.records import MeasurementData
+from repro.parallel.executor import (
+    ShardExecutor,
+    default_infer_workers,
+    shard_contribution,
+)
 
 
 @dataclass(frozen=True)
@@ -145,6 +145,10 @@ def infer_sharded(
     settings: EmulationSettings = EmulationSettings(),
     min_pathsets: int = DEFAULT_MIN_PATHSETS,
     rng: Optional[np.random.Generator] = None,
+    *,
+    workers: Optional[int] = None,
+    parallel_mode: str = "auto",
+    executor: Optional[ShardExecutor] = None,
 ) -> Tuple[Dict[PathSet, float], AlgorithmResult]:
     """Records → verdict, sharded per subnet, exact cross-shard merge.
 
@@ -154,9 +158,22 @@ def infer_sharded(
     empty ``systems`` dict — the memory-bounded mode. See the module
     docstring for the exactness argument; inputs outside the fast
     path delegate to the monolithic pipeline.
+
+    Args:
+        workers: Per-shard parallelism; ``None`` reads
+            ``REPRO_INFER_WORKERS`` (1 when unset → the sequential
+            loop). Contributions are folded in shard order, so
+            verdicts are bitwise-identical for every worker count.
+        parallel_mode: ``auto`` (threads iff the numba kernel backend
+            is active, processes + shared-memory transport
+            otherwise), ``thread``, or ``process``.
+        executor: A caller-owned :class:`~repro.parallel.executor.
+            ShardExecutor` to reuse (its warm pools survive across
+            calls); overrides ``workers``/``parallel_mode``.
     """
-    fast = settings.normalization_mode == "expected" and bool(
-        (measurements.sent_matrix > 0).all()
+    fast = (
+        settings.normalization_mode == "expected"
+        and measurements.all_sent_positive
     )
     if not fast:
         # local import: the runner sits above core in the layering
@@ -173,8 +190,18 @@ def infer_sharded(
     tel = telemetry.enabled()
     index = net.path_index
     num_paths = index.num_paths
+    eligible = [s for s in plan.shards if len(s.path_ids) >= 2]
+    num_workers = (
+        executor.workers
+        if executor is not None
+        else (workers if workers is not None else default_infer_workers())
+    )
+    parallel = num_workers > 1 and len(eligible) > 1
     sharded_span = telemetry.span(
-        "infer.sharded", shards=len(plan.shards), paths=num_paths
+        "infer.sharded",
+        shards=len(plan.shards),
+        paths=num_paths,
+        workers=num_workers,
     )
     sharded_span.__enter__()
     try:
@@ -182,50 +209,68 @@ def infer_sharded(
         per_sigma: Dict[
             LinkSeq, List[Tuple[np.ndarray, np.ndarray]]
         ] = {}
-        for shard in plan.shards:
-            if len(shard.path_ids) < 2:
-                continue
-            with telemetry.span(
-                "infer.shard", shard=shard.name,
-                paths=len(shard.path_ids),
-            ) as shard_span:
-                sub = net.restricted_to_paths(shard.path_ids)
-                # Threshold 1: keep every σ group — line 10 applies to
-                # the *merged* counts, not the per-shard ones.
-                batch, _ = build_slice_batch(sub, 1)
-                if batch.num_systems == 0:
-                    continue
-                _, y_single, y_pair_flat = batch_slice_observations(
+
+        def _fold(shard: Shard, res) -> None:
+            for s, sigma in enumerate(res.sigmas):
+                lo, hi = res.offsets[s], res.offsets[s + 1]
+                per_sigma.setdefault(sigma, []).append(
+                    (res.keys[lo:hi], res.estimates[lo:hi])
+                )
+            if tel:
+                telemetry.get_registry().counter(
+                    "repro_sharded_pairs_total",
+                    "pathset pairs contributed per shard",
+                    shard=shard.name,
+                ).inc(res.pairs)
+
+        if parallel:
+            own_executor = executor is None
+            exec_ = executor if executor is not None else ShardExecutor(
+                workers=num_workers, mode=parallel_mode
+            )
+            try:
+                results = exec_.run_shards(
+                    net,
                     measurements,
-                    batch,
+                    [shard.path_ids for shard in eligible],
                     loss_threshold=settings.loss_threshold,
-                    mode=settings.normalization_mode,
-                    rng=rng,
-                    materialize=False,
+                    normalization_mode=settings.normalization_mode,
                 )
-                estimates = batch_pair_estimates_arrays(
-                    batch, y_single, y_pair_flat
-                )
-                # Shard→global row map is monotonic (both id-sorted),
-                # so a < b survives and keys stay row-major within a
-                # group.
-                to_global = index.rows(batch.index.path_ids)
-                keys = (
-                    to_global[batch.pair_a].astype(np.int64) * num_paths
-                    + to_global[batch.pair_b]
-                )
-                for s, sigma in enumerate(batch.sigmas):
-                    lo, hi = batch.offsets[s], batch.offsets[s + 1]
-                    per_sigma.setdefault(sigma, []).append(
-                        (keys[lo:hi], estimates[lo:hi])
+            finally:
+                if own_executor:
+                    exec_.close()
+            # Fold in shard order: per-σ contribution order — hence
+            # the merge's concatenations — match the sequential loop
+            # byte for byte.
+            for shard, res in zip(eligible, results):
+                if res is not None:
+                    _fold(shard, res)
+            sharded_span.set(
+                mode=exec_.last_mode, shm_bytes=exec_.last_shm_bytes
+            )
+            if tel:
+                telemetry.get_registry().counter(
+                    "repro_parallel_shard_tasks_total",
+                    "shard tasks dispatched by the parallel executor",
+                    mode=exec_.last_mode,
+                ).inc(len(eligible))
+        else:
+            for shard in eligible:
+                with telemetry.span(
+                    "infer.shard", shard=shard.name,
+                    paths=len(shard.path_ids),
+                ) as shard_span:
+                    res = shard_contribution(
+                        net,
+                        measurements,
+                        shard.path_ids,
+                        loss_threshold=settings.loss_threshold,
+                        normalization_mode=settings.normalization_mode,
                     )
-                shard_span.set(pairs=int(keys.size))
-                if tel:
-                    telemetry.get_registry().counter(
-                        "repro_sharded_pairs_total",
-                        "pathset pairs contributed per shard",
-                        shard=shard.name,
-                    ).inc(int(keys.size))
+                    if res is None:
+                        continue
+                    _fold(shard, res)
+                    shard_span.set(pairs=res.pairs)
 
         merge_start = time.perf_counter()
         kept_sigmas: List[LinkSeq] = []

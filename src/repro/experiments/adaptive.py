@@ -554,6 +554,8 @@ class AdaptiveSweep:
                 cache_hits=stats.cache_hits,
                 executed=stats.executed,
                 budget_used=result.budget_used,
+                pool_reused=stats.pool_reused,
+                pool_setup_seconds=stats.pool_setup_seconds,
             )
         if telemetry.enabled():
             reg = telemetry.get_registry()
@@ -965,20 +967,22 @@ def run_plane_frontier(
     """Adaptively localize the plane's detection frontier (the CLI's
     ``sweep --adaptive`` path; the bench drives :class:`AdaptiveSweep`
     directly to also time the dense baseline)."""
-    runner = SweepRunner.for_settings(
+    # One warm pool across all refinement waves; closed when the
+    # search returns (the runner is private to this call).
+    with SweepRunner.for_settings(
         settings,
         workers=workers,
         cache_dir=cache_dir,
         batch_size=batch_size,
-    )
-    sweep = AdaptiveSweep(
-        runner,
-        plane_axes(rate_points, noise_points),
-        PlanePointFactory(settings=settings, substrate=substrate),
-        refinable if refinable is not None else plane_refinable(),
-        budget=budget,
-    )
-    return sweep.run()
+    ) as runner:
+        sweep = AdaptiveSweep(
+            runner,
+            plane_axes(rate_points, noise_points),
+            PlanePointFactory(settings=settings, substrate=substrate),
+            refinable if refinable is not None else plane_refinable(),
+            budget=budget,
+        )
+        return sweep.run()
 
 
 # ----------------------------------------------------------------------

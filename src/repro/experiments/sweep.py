@@ -63,6 +63,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.exceptions import ConfigurationError
+from repro.parallel.executor import SweepExecutor
+from repro.parallel.shm import REGISTRY as _SHM_REGISTRY
 from repro.substrate.registry import substrate_cache_tag
 
 
@@ -204,6 +206,15 @@ class SweepStats:
     point_seconds: Dict[str, float] = field(default_factory=dict)
     #: Wall-clock seconds of the whole :meth:`SweepRunner.run` call.
     wall_seconds: float = 0.0
+    #: Pool shape of the run: configured worker count, whether a warm
+    #: pool was reused (vs created — or never needed, for inline
+    #: runs), and the seconds spent creating one when it wasn't.
+    workers: int = 1
+    pool_reused: bool = False
+    pool_setup_seconds: float = 0.0
+    #: Shared-memory bytes exported while the run executed (zero for
+    #: sweeps whose points never shard inference in-process).
+    shm_bytes: int = 0
 
     @property
     def executed_seconds(self) -> float:
@@ -226,6 +237,12 @@ class SweepRunner:
             (auto) uses :data:`DEFAULT_BATCH_SIZE`; ``1`` disables
             batching entirely (every point runs via its own
             ``func``). Results are identical for any value.
+        reuse_pool: Keep one warm worker pool across :meth:`run`
+            calls (the default) — adaptive waves and repeated sweeps
+            stop paying fork + import per call. ``False`` restores
+            the per-run pool (created and torn down inside each
+            :meth:`run`). Results are identical either way; only
+            pool-setup accounting differs.
     """
 
     def __init__(
@@ -235,6 +252,7 @@ class SweepRunner:
         cache_dir: Optional[str] = None,
         cache_salt: str = "",
         batch_size: Optional[int] = None,
+        reuse_pool: bool = True,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -245,7 +263,27 @@ class SweepRunner:
         self.cache_dir = cache_dir
         self.cache_salt = cache_salt
         self.batch_size = batch_size
+        self.reuse_pool = reuse_pool
         self.stats = SweepStats()
+        self._executor = (
+            SweepExecutor(workers) if workers > 1 else None
+        )
+
+    @property
+    def executor(self) -> Optional[SweepExecutor]:
+        """The persistent pool (``None`` for inline runners)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Tear the warm pool down (idempotent; inline runners no-op)."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @classmethod
     def for_settings(
@@ -254,6 +292,7 @@ class SweepRunner:
         workers: int = 1,
         cache_dir: Optional[str] = None,
         batch_size: Optional[int] = None,
+        reuse_pool: bool = True,
     ) -> "SweepRunner":
         """Runner bound to an :class:`~repro.experiments.config.
         EmulationSettings`: its seed becomes the base seed and its
@@ -265,6 +304,7 @@ class SweepRunner:
             cache_dir=cache_dir,
             cache_salt=settings.fingerprint(),
             batch_size=batch_size,
+            reuse_pool=reuse_pool,
         )
 
     # ------------------------------------------------------------------
@@ -394,6 +434,8 @@ class SweepRunner:
         if len(set(keys)) != len(keys):
             raise ConfigurationError("sweep point keys must be unique")
         self.stats = SweepStats()  # per-run bookkeeping, as documented
+        self.stats.workers = self.workers
+        shm_bytes_before = _SHM_REGISTRY.exported_bytes_total
         run_start = time.perf_counter()
         # Telemetry is consulted once per run (the kernels-style
         # enablement contract); when disabled the span below is the
@@ -495,14 +537,6 @@ class SweepRunner:
                     if retries:
                         _collect(map(_execute_task, retries))
                 else:
-                    import multiprocessing as mp
-                    import sys
-
-                    # fork is the cheap option where it is safe (Linux);
-                    # elsewhere fall back to the platform default (spawn)
-                    # — points are picklable by contract, so both work.
-                    method = "fork" if sys.platform == "linux" else None
-                    ctx = mp.get_context(method)
                     has_batches = any(t[0] == "batch" for t in tasks)
                     # Unordered streaming keeps every worker busy (slow
                     # points no longer gate their map chunk); results are
@@ -518,10 +552,17 @@ class SweepRunner:
                             min(8, len(tasks) // (4 * self.workers) or 1),
                         )
                     )
-                    # Sized by pending *points*, not tasks: a failed
-                    # batch's members retry point-by-point on this same
-                    # pool, and must not be throttled to the batch count.
-                    with ctx.Pool(min(self.workers, len(pending))) as pool:
+                    # The persistent executor keeps one warm pool
+                    # across run() calls (and hence adaptive waves);
+                    # creation is paid at most once per runner, and a
+                    # failed batch's members retry point-by-point on
+                    # the same pool.
+                    pool, created = self._executor.ensure_pool()
+                    self.stats.pool_reused = not created
+                    self.stats.pool_setup_seconds = (
+                        self._executor.last_setup_seconds if created else 0.0
+                    )
+                    try:
                         retries = _collect(
                             pool.imap_unordered(
                                 _execute_task, tasks, chunksize=chunksize
@@ -535,14 +576,22 @@ class SweepRunner:
                                     _execute_task, retries, chunksize=1
                                 )
                             )
+                    finally:
+                        if not self.reuse_pool:
+                            self._executor.close()
 
             self.stats.wall_seconds = time.perf_counter() - run_start
+            self.stats.shm_bytes = (
+                _SHM_REGISTRY.exported_bytes_total - shm_bytes_before
+            )
             run_span.set(
                 cache_hits=self.stats.cache_hits,
                 cache_misses=self.stats.cache_misses,
                 executed=self.stats.executed,
                 batches=self.stats.batches,
                 wall_seconds=self.stats.wall_seconds,
+                pool_reused=self.stats.pool_reused,
+                pool_setup_seconds=self.stats.pool_setup_seconds,
             )
             if tel:
                 self._fold_stats_into_registry()
@@ -583,3 +632,11 @@ class SweepRunner:
             "repro_sweep_wall_seconds_total",
             "wall-clock seconds across SweepRunner.run calls",
         ).inc(stats.wall_seconds)
+        reg.counter(
+            "repro_sweep_pool_setup_seconds_total",
+            "seconds spent creating sweep worker pools",
+        ).inc(stats.pool_setup_seconds)
+        reg.counter(
+            "repro_sweep_pool_reuses_total",
+            "sweep runs dispatched onto an already-warm pool",
+        ).inc(1 if stats.pool_reused else 0)

@@ -72,6 +72,19 @@ def _popcount_rows(packed: np.ndarray) -> np.ndarray:
 #: regardless of how many sharing pairs a topology has.
 PAIR_POPCOUNT_BLOCK = 1 << 18
 
+#: Lazy handle on :mod:`repro.fluid.kernels` (imported on first use:
+#: ``repro.fluid`` pulls in the engines, which import this package).
+_kernels = None
+
+
+def _kernel_mod():
+    global _kernels
+    if _kernels is None:
+        from repro.fluid import kernels
+
+        _kernels = kernels
+    return _kernels
+
 
 def pair_joint_popcounts(
     packed: np.ndarray,
@@ -85,7 +98,25 @@ def pair_joint_popcounts(
     both packed operands for all of them at once would allocate
     ``O(n_pairs · T/8)`` twice. Processing in fixed-size blocks keeps
     the peak additive memory constant.
+
+    Under the fused kernel backends the whole pass runs as one
+    gather-AND-popcount kernel (``pair_popcount_rows``) instead —
+    integer-exact, so bitwise-identical to the blocked route, with no
+    gathered temporaries at all; compiled under numba it releases the
+    GIL, which is what makes the thread leg of
+    :mod:`repro.parallel` scale.
     """
+    kernels = _kernel_mod()
+    if kernels.step_kernels_enabled():
+        out = np.empty(rows_a.size, dtype=np.int64)
+        kernels.pair_popcount_rows(
+            np.ascontiguousarray(packed),
+            np.ascontiguousarray(rows_a, dtype=np.intp),
+            np.ascontiguousarray(rows_b, dtype=np.intp),
+            _POPCOUNT,
+            out,
+        )
+        return out
     out = np.empty(rows_a.size, dtype=np.int64)
     for lo in range(0, int(rows_a.size), block_pairs):
         hi = min(lo + block_pairs, int(rows_a.size))
@@ -471,7 +502,7 @@ def batch_slice_observations(
     if batch.num_systems == 0:
         return {}, np.full(num_paths, np.nan), np.zeros(0, dtype=float)
 
-    fast = mode == "expected" and bool((data.sent_matrix > 0).all())
+    fast = mode == "expected" and data.all_sent_positive
     if not fast:
         observations = joint_slice_observations(
             data,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import zipfile
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -196,6 +196,67 @@ class MeasurementData:
         self._row_of: Optional[Dict[str, int]] = None
         self._sent_matrix: Optional[np.ndarray] = None
         self._lost_matrix: Optional[np.ndarray] = None
+        self._all_sent_positive: Optional[bool] = None
+
+    @classmethod
+    def from_matrices(
+        cls,
+        path_ids: Sequence[str],
+        sent: np.ndarray,
+        lost: np.ndarray,
+        interval_seconds: float = 0.1,
+        *,
+        all_sent_positive: Optional[bool] = None,
+    ) -> "MeasurementData":
+        """Zero-copy construction from pre-validated stacked matrices.
+
+        The shared-memory transport path (:mod:`repro.parallel`):
+        workers rebuild a :class:`MeasurementData` directly over
+        attached segment views without re-validating or copying per
+        path — the parent already validated the records it exported.
+        ``path_ids`` must be sorted (the stacked-matrix row order) and
+        the matrices stay shared: rows are views, not copies.
+
+        Args:
+            all_sent_positive: Pre-computed :attr:`all_sent_positive`
+                flag; ``None`` defers to a lazy scan.
+        """
+        ids = tuple(path_ids)
+        if list(ids) != sorted(ids):
+            raise MeasurementError(
+                "from_matrices path_ids must be sorted (row order)"
+            )
+        if sent.shape != lost.shape or sent.ndim != 2:
+            raise MeasurementError(
+                f"stacked matrices must be 2-D and aligned, got "
+                f"{sent.shape} vs {lost.shape}"
+            )
+        if sent.shape[0] != len(ids):
+            raise MeasurementError(
+                f"{sent.shape[0]} matrix rows for {len(ids)} paths"
+            )
+        if interval_seconds <= 0:
+            raise MeasurementError(
+                f"interval_seconds must be positive, got {interval_seconds}"
+            )
+        self = cls.__new__(cls)
+        records: Dict[str, PathRecord] = {}
+        for i, pid in enumerate(ids):
+            rec = PathRecord.__new__(PathRecord)
+            rec.path_id = pid
+            rec.sent = sent[i]
+            rec.lost = lost[i]
+            records[pid] = rec
+        self._records = records
+        self._num_intervals = int(sent.shape[1])
+        self.interval_seconds = float(interval_seconds)
+        self._row_of = {pid: i for i, pid in enumerate(ids)}
+        self._sent_matrix = sent
+        self._lost_matrix = lost
+        self._all_sent_positive = (
+            None if all_sent_positive is None else bool(all_sent_positive)
+        )
+        return self
 
     def _build_matrices(self) -> None:
         ids = self.path_ids
@@ -223,6 +284,20 @@ class MeasurementData:
         if self._lost_matrix is None:
             self._build_matrices()
         return self._lost_matrix
+
+    @property
+    def all_sent_positive(self) -> bool:
+        """Whether every path sent traffic in every interval.
+
+        The fast-path guard of :func:`repro.measurement.normalize.
+        batch_slice_observations` and :func:`repro.core.sharding.
+        infer_sharded` — cached alongside the stacked matrices instead
+        of re-scanning ``(|P|, T)`` on every inference call, and
+        invalidated with them on :meth:`append_intervals`.
+        """
+        if self._all_sent_positive is None:
+            self._all_sent_positive = bool((self.sent_matrix > 0).all())
+        return self._all_sent_positive
 
     def rows_of(self, path_ids: Iterable[str]) -> np.ndarray:
         """Row indices of the given paths into the stacked matrices.
@@ -318,6 +393,7 @@ class MeasurementData:
         self._row_of = None
         self._sent_matrix = None
         self._lost_matrix = None
+        self._all_sent_positive = None
 
     def append_chunk(self, chunk: RecordChunk) -> None:
         """Append a :class:`RecordChunk` (streaming convenience)."""

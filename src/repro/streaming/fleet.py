@@ -393,6 +393,9 @@ class MonitorFleet:
         cache_dir: Outcome cache directory (``None`` disables).
         batch_size: Maximum tasks per scenario batch (``None`` =
             auto).
+        reuse_pool: Keep one warm worker pool across :meth:`run`
+            calls and adaptive waves (the default); ``False``
+            restores per-run pools.
     """
 
     def __init__(
@@ -401,17 +404,29 @@ class MonitorFleet:
         workers: int = 1,
         cache_dir: Optional[str] = None,
         batch_size: Optional[int] = None,
+        reuse_pool: bool = True,
     ) -> None:
         self._runner = SweepRunner(
             base_seed=base_seed,
             workers=workers,
             cache_dir=cache_dir,
             batch_size=batch_size,
+            reuse_pool=reuse_pool,
         )
 
     @property
     def stats(self) -> SweepStats:
         return self._runner.stats
+
+    def close(self) -> None:
+        """Shut the fleet's warm worker pool down (idempotent)."""
+        self._runner.close()
+
+    def __enter__(self) -> "MonitorFleet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(
         self, tasks: Sequence[MonitorTask]

@@ -669,3 +669,25 @@ class TestTopologyBFrontier:
             replayed[rep0.key].outcome.algorithm.scores
             == frontier_report.outcome.algorithm.scores
         )
+
+
+class TestPersistentPool:
+    def test_one_pool_across_all_waves(self):
+        """Adaptive refinement dispatches many waves; with the
+        persistent executor they all ride one warm pool."""
+        with SweepRunner(base_seed=5, workers=2) as runner:
+            result = _sweep((4, 13), runner=runner).run()
+            assert len(result.waves) > 1  # refinement actually waved
+            assert runner.executor.pools_created == 1
+            assert runner.executor.reuses == len(result.waves) - 1
+        # Trajectory unchanged vs the inline runner.
+        seq = _sweep((4, 13), runner=SweepRunner(base_seed=5)).run()
+        assert result.results == seq.results
+        assert result.frontier == seq.frontier
+
+    def test_per_wave_pools_when_reuse_disabled(self):
+        with SweepRunner(
+            base_seed=5, workers=2, reuse_pool=False
+        ) as runner:
+            result = _sweep((4, 13), runner=runner).run()
+            assert runner.executor.pools_created == len(result.waves)

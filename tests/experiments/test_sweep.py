@@ -647,3 +647,73 @@ class TestTopologyAWiring:
         runner.run(sweep_points([6], quick, derive_seeds=False))
         assert runner.stats.cache_hits == 4
         assert runner.stats.executed == 0
+
+
+class TestPersistentPool:
+    def test_pool_survives_runs(self):
+        """The tentpole property: one warm pool serves every run()."""
+        with SweepRunner(base_seed=5, workers=2) as runner:
+            first = runner.run(_points())
+            assert runner.stats.workers == 2
+            assert runner.stats.pool_reused is False
+            assert runner.stats.pool_setup_seconds > 0.0
+            second = runner.run(_points())
+            assert runner.stats.pool_reused is True
+            assert runner.stats.pool_setup_seconds == 0.0
+            assert runner.executor.pools_created == 1
+            assert runner.executor.reuses == 1
+        assert first == second
+        # Closed: the next run builds a fresh pool.
+        third = runner.run(_points())
+        assert runner.executor.pools_created == 2
+        assert third == first
+
+    def test_reuse_pool_false_restores_per_run_pools(self):
+        with SweepRunner(
+            base_seed=5, workers=2, reuse_pool=False
+        ) as runner:
+            a = runner.run(_points())
+            b = runner.run(_points())
+            assert runner.executor.pools_created == 2
+            assert runner.stats.pool_reused is False
+        assert a == b
+
+    def test_results_identical_to_inline(self):
+        seq = SweepRunner(base_seed=5, workers=1).run(_points())
+        with SweepRunner(base_seed=5, workers=2) as runner:
+            runner.run(_points())
+            par = runner.run(_points())  # warm-pool run
+            assert runner.stats.pool_reused is True
+        assert par == seq
+
+    def test_inline_runner_never_builds_a_pool(self):
+        runner = SweepRunner(base_seed=5, workers=1)
+        runner.run(_points((1.0,)))
+        assert runner.executor is None
+        assert runner.stats.workers == 1
+        assert runner.stats.pool_reused is False
+        runner.close()  # no-op, must not raise
+
+    def test_batch_retry_keeps_pool_warm(self):
+        """A failed batch retries point-by-point on the same warm
+        pool, which stays reusable for the next run."""
+        expected = SweepRunner(base_seed=5, workers=1).run(_points())
+        with SweepRunner(base_seed=5, workers=2) as runner:
+            with pytest.warns(RuntimeWarning, match="retrying each"):
+                got = runner.run(
+                    _batched_points(batch_func=_broken_batch)
+                )
+            assert runner.stats.batch_retries == 3
+            assert got == expected
+            runner.run(_points())
+            assert runner.stats.pool_reused is True
+            assert runner.executor.pools_created == 1
+
+    def test_summary_renders_pool_line(self):
+        from repro.experiments.reporting import render_sweep_summary
+
+        with SweepRunner(base_seed=5, workers=2) as runner:
+            runner.run(_points())
+            runner.run(_points())
+            summary = render_sweep_summary({}, runner.stats)
+        assert "parallel: 2 workers, warm pool reused" in summary

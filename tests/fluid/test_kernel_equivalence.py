@@ -684,3 +684,62 @@ def test_sliding_window_sparse_route_backend_invariant(monkeypatch):
     k_single, k_pair = costs(FUSED)
     np.testing.assert_array_equal(k_single, ref_single)
     np.testing.assert_array_equal(k_pair, ref_pair)
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 2**31),
+    num_rows=st.integers(2, 8),
+    total=st.integers(1, 200),
+)
+def test_pair_popcount_rows_kernel_exact(seed, num_rows, total):
+    """Full-row packed-AND popcounts (the parallel executor's
+    normalization leg) equal the unpacked boolean reference."""
+    from repro.measurement.normalize import _POPCOUNT
+
+    rng = np.random.default_rng(seed)
+    status = rng.random((num_rows, total)) < 0.5
+    packed = np.packbits(status, axis=1)
+    pairs = [
+        (a, b)
+        for a in range(num_rows)
+        for b in range(a + 1, num_rows)
+    ]
+    rows_a = np.array([a for a, _ in pairs], dtype=np.intp)
+    rows_b = np.array([b for _, b in pairs], dtype=np.intp)
+    counts = np.zeros(len(pairs), dtype=np.int64)
+    with kernels.use_backend(FUSED):
+        kernels.pair_popcount_rows(
+            packed, rows_a, rows_b, _POPCOUNT, counts
+        )
+    expected = np.array(
+        [
+            int(np.count_nonzero(status[a] & status[b]))
+            for a, b in pairs
+        ],
+        dtype=np.int64,
+    )
+    np.testing.assert_array_equal(counts, expected)
+
+
+def test_pair_joint_popcounts_backend_invariant():
+    """normalize.pair_joint_popcounts takes the kernel route when
+    step kernels are enabled and the numpy route otherwise — the
+    counts are integer-exact either way."""
+    from repro.measurement.normalize import pair_joint_popcounts
+
+    rng = np.random.default_rng(23)
+    status = rng.random((6, 130)) < 0.6
+    packed = np.packbits(status, axis=1)
+    rows_a = np.array([0, 1, 2, 3], dtype=np.intp)
+    rows_b = np.array([4, 5, 3, 5], dtype=np.intp)
+    with kernels.use_backend("numpy"):
+        numpy_route = pair_joint_popcounts(packed, rows_a, rows_b)
+    with kernels.use_backend(FUSED):
+        kernel_route = pair_joint_popcounts(packed, rows_a, rows_b)
+    np.testing.assert_array_equal(kernel_route, numpy_route)
+    expected = [
+        int(np.count_nonzero(status[a] & status[b]))
+        for a, b in zip(rows_a, rows_b)
+    ]
+    np.testing.assert_array_equal(numpy_route, expected)

@@ -231,3 +231,97 @@ class TestSaveLoad:
         path.write_bytes(b"not a zip archive")
         with pytest.raises(MeasurementError):
             MeasurementData.load(str(path))
+
+
+class TestAllSentPositive:
+    def _data(self, p1_sent=(10, 20, 30)):
+        return MeasurementData(
+            [
+                _record("p1", sent=p1_sent, lost=(0, 0, 0)),
+                _record("p2", sent=(5, 5, 5), lost=(1, 0, 0)),
+            ],
+            interval_seconds=0.1,
+        )
+
+    def test_true_and_cached(self):
+        data = self._data()
+        assert data.all_sent_positive is True
+        # Cached: the second read must not rescan (poke the slot).
+        assert data._all_sent_positive is True
+
+    def test_false_on_silent_interval(self):
+        data = self._data(p1_sent=(10, 0, 30))
+        assert data.all_sent_positive is False
+
+    def test_staleness_after_append_intervals(self):
+        """Regression: the cached flag must not survive an append
+        that introduces a zero-sent interval."""
+        data = self._data()
+        assert data.all_sent_positive is True  # builds the cache
+        data.append_intervals(
+            {"p1": np.array([0]), "p2": np.array([4])},
+            {"p1": np.array([0]), "p2": np.array([0])},
+        )
+        assert data.all_sent_positive is False
+
+    def test_staleness_after_append_chunk(self):
+        from repro.measurement.records import RecordChunk
+
+        data = self._data()
+        assert data.all_sent_positive is True
+        data.append_chunk(
+            RecordChunk(
+                path_ids=("p1", "p2"),
+                sent=np.array([[4], [0]]),
+                lost=np.array([[0], [0]]),
+                interval_seconds=0.1,
+                start_interval=3,
+            )
+        )
+        assert data.all_sent_positive is False
+
+
+class TestFromMatrices:
+    def test_zero_copy_and_equivalent(self):
+        base = MeasurementData(
+            [_record("p1"), _record("p2", sent=(5, 5, 5), lost=(1, 0, 0))],
+            interval_seconds=0.25,
+        )
+        sent, lost = base.sent_matrix, base.lost_matrix
+        data = MeasurementData.from_matrices(
+            base.path_ids, sent, lost, base.interval_seconds
+        )
+        assert data.sent_matrix is sent  # shared, not copied
+        assert data.lost_matrix is lost
+        assert data.path_ids == base.path_ids
+        assert data.num_intervals == base.num_intervals
+        np.testing.assert_array_equal(
+            data.record("p2").sent, base.record("p2").sent
+        )
+        assert data.all_sent_positive == base.all_sent_positive
+
+    def test_precomputed_flag_is_trusted(self):
+        sent = np.array([[0, 1]])
+        data = MeasurementData.from_matrices(
+            ("p1",), sent, np.zeros_like(sent),
+            all_sent_positive=True,
+        )
+        # Trusted classmethod: the caller's flag wins over a scan.
+        assert data.all_sent_positive is True
+
+    def test_validation(self):
+        sent = np.array([[1, 2], [3, 4]])
+        with pytest.raises(MeasurementError):
+            MeasurementData.from_matrices(
+                ("p2", "p1"), sent, sent  # unsorted ids
+            )
+        with pytest.raises(MeasurementError):
+            MeasurementData.from_matrices(
+                ("p1", "p2"), sent, sent[:1]  # misaligned
+            )
+        with pytest.raises(MeasurementError):
+            MeasurementData.from_matrices(("p1",), sent, sent)
+        with pytest.raises(MeasurementError):
+            MeasurementData.from_matrices(
+                ("p1", "p2"), sent, sent, interval_seconds=0.0
+            )

@@ -265,3 +265,32 @@ class TestAdaptiveFleet:
         assert partial.budget_used == 2
         assert partial.dropped
         assert "PARTIAL" in partial.summary()
+
+
+class TestFleetPool:
+    def test_fleet_reuses_one_warm_pool(self):
+        """Two fleet runs on one worker pool: pool created once,
+        outcomes identical to an inline fleet."""
+        inline = MonitorFleet(base_seed=1).run(_tasks())
+        with MonitorFleet(base_seed=1, workers=2) as fleet:
+            first = fleet.run(_tasks())
+            assert fleet.stats.pool_reused is False
+            second = fleet.run(_tasks())
+            assert fleet.stats.pool_reused is True
+            assert fleet._runner.executor.pools_created == 1
+        assert list(first) == list(inline)
+        for name in inline:
+            for got in (first[name], second[name]):
+                np.testing.assert_array_equal(
+                    got.scores, inline[name].scores
+                )
+                assert got.change_points == inline[name].change_points
+                assert (
+                    got.final_identified
+                    == inline[name].final_identified
+                )
+
+    def test_close_is_idempotent(self):
+        fleet = MonitorFleet(base_seed=1, workers=2)
+        fleet.close()
+        fleet.close()
